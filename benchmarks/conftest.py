@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The
+rendered rows are printed and also written under
+``benchmarks/output/`` so the regenerated artefacts survive pytest's
+output capture.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import ContextConfig, campaign_context
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The standard campaign context, built once per session."""
+    return campaign_context(ContextConfig())
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Persist + print a regenerated table/figure."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _emit

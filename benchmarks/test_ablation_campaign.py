@@ -1,0 +1,106 @@
+"""Ablation benches at campaign scale: robustness knobs.
+
+Sweeps the tunnel-aware traceroute trigger threshold and the ICMP
+response rate, measuring revelation yield against probing cost.
+"""
+
+from repro.core.revelation import TunnelAwareTraceroute
+from repro.experiments.common import format_table
+from repro.synth.failures import rate_limit_routers, restore
+from repro.synth.internet import InternetConfig, build_internet
+from repro.synth.profiles import paper_profiles
+
+
+def _small_internet(seed=31):
+    return build_internet(
+        InternetConfig(
+            profiles=tuple(paper_profiles(0.5)),
+            vantage_points=4,
+            stubs_per_transit=2,
+            seed=seed,
+        )
+    )
+
+
+def run_trigger_threshold_sweep():
+    """Tunnel-aware traceroute: threshold vs yield and cost."""
+    rows = []
+    for threshold in (1, 2, 4, 8):
+        internet = _small_internet()
+        tracer = TunnelAwareTraceroute(
+            internet.prober, trigger_threshold=threshold
+        )
+        vp = internet.vps[0]
+        before = internet.prober.probes_sent
+        revealed = 0
+        for dst in internet.campaign_targets():
+            _, revelations = tracer.trace(vp, dst)
+            revealed += sum(r.tunnel_length for r in revelations)
+        rows.append(
+            (threshold, revealed, internet.prober.probes_sent - before)
+        )
+    return rows
+
+
+def test_ablation_trigger_threshold(benchmark, emit):
+    rows = benchmark.pedantic(
+        run_trigger_threshold_sweep, rounds=1, iterations=1
+    )
+    yields = {threshold: revealed for threshold, revealed, _ in rows}
+    costs = {threshold: cost for threshold, _, cost in rows}
+    # A lower trigger reveals at least as much, for at least as many
+    # probes; a huge threshold reveals (almost) nothing.
+    assert yields[1] >= yields[4] >= yields[8]
+    assert costs[1] >= costs[8]
+    emit(
+        "ablation_trigger_threshold",
+        format_table(
+            ["threshold", "hops revealed", "probes"], rows,
+            title="Ablation: tunnel-aware traceroute trigger threshold",
+        ),
+    )
+
+
+def run_rate_limit_sweep():
+    """Revelation completeness under ICMP rate limiting."""
+    from repro.campaign.orchestrator import Campaign, CampaignConfig
+
+    rows = []
+    for rate in (1.0, 0.9, 0.6, 0.3):
+        internet = _small_internet()
+        if rate < 1.0:
+            rate_limit_routers(
+                internet.network, rate=rate,
+                asns=internet.transit_asns, seed=4,
+            )
+        campaign = Campaign(
+            internet.prober,
+            internet.vps,
+            internet.asn_of_address,
+            CampaignConfig(
+                suspicious_asns=tuple(internet.transit_asns)
+            ),
+        )
+        result = campaign.run(internet.campaign_targets())
+        rows.append(
+            (
+                rate,
+                len(result.pairs),
+                len(result.successful_revelations()),
+            )
+        )
+    return rows
+
+
+def test_ablation_rate_limit(benchmark, emit):
+    rows = benchmark.pedantic(run_rate_limit_sweep, rounds=1, iterations=1)
+    by_rate = {rate: revealed for rate, _, revealed in rows}
+    # Heavy rate limiting must not *increase* the yield.
+    assert by_rate[0.3] <= by_rate[1.0]
+    emit(
+        "ablation_rate_limit",
+        format_table(
+            ["response rate", "candidate pairs", "revealed"], rows,
+            title="Ablation: ICMP rate limiting vs revelation yield",
+        ),
+    )

@@ -1,0 +1,40 @@
+"""Bench (extension): validate FRPLA's routing-asymmetry assumption.
+
+Ground-truth forward/return data paths across the synthetic Internet:
+asymmetry exists (hot potato) but its length difference centres at
+zero — exactly the condition FRPLA needs to isolate tunnel lengths.
+"""
+
+from repro.analysis.asymmetry import measure_asymmetry
+from repro.experiments.common import format_table
+
+
+def test_asymmetry_assumption(benchmark, emit, context):
+    internet = context.internet
+
+    def measure():
+        return measure_asymmetry(
+            internet.engine,
+            sources=internet.vps,
+            destinations=internet.campaign_targets()[:20],
+            owner_of=internet.router_of_address,
+        )
+
+    report = benchmark(measure)
+    assert report.pairs
+    assert report.centred(tolerance=1.0)
+    differences = report.length_differences()
+    rows = [
+        ("pairs measured", len(report.pairs)),
+        ("exactly symmetric", f"{report.symmetric_fraction:.0%}"),
+        ("length diff median", f"{differences.median:g}"),
+        ("length diff mean", f"{differences.mean:.2f}"),
+        ("length diff min/max", f"{differences.min:g}/{differences.max:g}"),
+    ]
+    emit(
+        "asymmetry_validation",
+        format_table(
+            ["metric", "value"], rows,
+            title="FRPLA assumption: routing asymmetry centres at 0",
+        ),
+    )

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 1 (ITDK-like node degree distribution)."""
+
+from repro.experiments import fig01_degree
+
+
+def test_fig01_degree_distribution(benchmark, emit):
+    result = benchmark(fig01_degree.run)
+    # Shape: a heavy right tail — high-degree nodes exist, far above
+    # the typical degree.
+    assert result.node_count > 50
+    assert result.hdn_count >= 1
+    assert result.max_degree >= 2 * result.hdn_threshold / 2
+    emit("fig01_degree_itdk", result.text)

@@ -1,0 +1,12 @@
+"""Bench: regenerate the Fig. 2 / Fig. 4 emulation transcripts."""
+
+from repro.experiments import fig04_gns3
+
+
+def test_fig04_emulation(benchmark, emit):
+    result = benchmark(fig04_gns3.run)
+    assert set(result.transcripts) == {
+        "default", "backward-recursive", "explicit-route",
+        "totally-invisible",
+    }
+    emit("fig04_gns3", result.text)

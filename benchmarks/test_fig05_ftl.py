@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 5 (forward tunnel length distribution)."""
+
+from repro.experiments import fig05_ftl
+
+
+def test_fig05_tunnel_lengths(benchmark, emit):
+    result = benchmark(fig05_ftl.run)
+    assert result.total_revealed > 0
+    # Shape: strongly decreasing, short tail (few tunnels beyond ~12
+    # hops in the paper; our synthetic cores are shallower).
+    ambiguous = result.by_method["dpr-or-brpr"]
+    assert len(ambiguous) > 0  # the single-LSR red dot exists
+    all_lengths = [
+        v for d in result.by_method.values() for v in d
+    ]
+    assert max(all_lengths) <= 12
+    emit("fig05_ftl", result.text)

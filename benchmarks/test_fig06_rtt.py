@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 6 (RTT correction with hop revelation)."""
+
+from repro.experiments import fig06_rtt
+
+
+def test_fig06_rtt_correction(benchmark, emit):
+    result = benchmark(fig06_rtt.run)
+    assert result.tunnel_length >= 1
+    # Shape: revelation decomposes the RTT jump — the largest
+    # single-hop step shrinks once hidden hops are spliced in.
+    assert result.visible_jump_ms <= result.invisible_jump_ms
+    assert len(result.visible) == len(result.invisible) + result.tunnel_length
+    emit("fig06_rtt", result.text)

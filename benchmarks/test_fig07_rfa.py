@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 7 (return vs forward asymmetry)."""
+
+from repro.experiments import fig07_rfa
+
+
+def test_fig07_rfa_distributions(benchmark, emit):
+    result = benchmark(fig07_rfa.run)
+    medians = result.medians()
+    # Shape targets from the paper: Others/Ingress centred near 0,
+    # Egress-with-revelation clearly shifted positive, and the
+    # correction re-centred near 0.
+    assert abs(medians["others"]) <= 1
+    assert abs(medians["ingress"]) <= 1
+    assert medians["egress_pr"] >= 2
+    assert abs(medians["corrected"]) <= 1
+    emit("fig07_rfa", result.text)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 8 (RFA via time-exceeded vs echo-reply)."""
+
+from repro.experiments import fig08_te_er
+
+
+def test_fig08_te_vs_er(benchmark, emit):
+    result = benchmark(fig08_te_er.run)
+    assert len(result.time_exceeded) > 0
+    assert len(result.echo_reply) > 0
+    # Shape: time-exceeded shifted positive, echo-reply centred at 0.
+    assert result.time_exceeded.median >= 1
+    assert abs(result.echo_reply.median) <= 1
+    emit("fig08_rfa_te_er", result.text)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 9 (RTLA tunnel lengths + asymmetry)."""
+
+from repro.experiments import fig09_rtla
+
+
+def test_fig09_rtla(benchmark, emit):
+    result = benchmark(fig09_rtla.run)
+    assert len(result.return_tunnel_lengths) > 0
+    # Shape: short return tunnels (like Fig. 5's forward ones), and
+    # the RTLA-vs-FTL asymmetry centred at 0.
+    assert result.return_tunnel_lengths.median <= 6
+    assert abs(result.tunnel_asymmetry.median) <= 1
+    emit("fig09_rtla", result.text)

@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 10 (degree distribution correction)."""
+
+from repro.experiments import fig10_degree
+
+
+def test_fig10_degree_correction(benchmark, emit):
+    result = benchmark(fig10_degree.run)
+    # Shape: revelation strictly reduces the top of the distribution
+    # for the focus AS (the full-mesh collapses), and adds nodes.
+    assert len(result.visible_all) >= len(result.invisible_all)
+    assert result.visible_focus.max <= result.invisible_focus.max
+    assert result.visible_focus.mean < result.invisible_focus.mean
+    emit("fig10_degree", result.text)

@@ -1,0 +1,18 @@
+"""Bench (extension): full graph-metric correction table."""
+
+from repro.experiments import graph_summary
+
+
+def test_graph_summary_correction(benchmark, emit):
+    result = benchmark(graph_summary.run)
+    before, after = result.invisible, result.visible
+    # Revelation adds real nodes, removes false links' density, and
+    # stretches paths.
+    assert after.node_count >= before.node_count
+    assert after.density <= before.density + 1e-9
+    assert (
+        after.mean_path_length is None
+        or before.mean_path_length is None
+        or after.mean_path_length >= before.mean_path_length
+    )
+    emit("graph_summary", result.text)

@@ -1,0 +1,64 @@
+"""Bench (extension): campaign behaviour across topology scales.
+
+Sweeps the AS-size multiplier and reports how the campaign's key
+quantities grow — a sanity check that the pipeline's findings are not
+an artefact of one topology size, and a scalability measurement for
+the simulator.
+"""
+
+from repro.campaign.orchestrator import Campaign, CampaignConfig
+from repro.experiments.common import format_table
+from repro.synth.internet import InternetConfig, build_internet
+from repro.synth.profiles import paper_profiles
+
+
+def run_scale(scale):
+    internet = build_internet(
+        InternetConfig(
+            profiles=tuple(paper_profiles(scale)),
+            vantage_points=6,
+            stubs_per_transit=4,
+            seed=2017,
+        )
+    )
+    campaign = Campaign(
+        internet.prober,
+        internet.vps,
+        internet.asn_of_address,
+        CampaignConfig(suspicious_asns=tuple(internet.transit_asns)),
+    )
+    result = campaign.run(internet.campaign_targets())
+    revealed = result.successful_revelations()
+    lengths = [r.tunnel_length for r in revealed]
+    return (
+        scale,
+        len(internet.network.routers),
+        len(result.pairs),
+        len(revealed),
+        max(lengths) if lengths else 0,
+        result.probes_sent + result.revelation_probes,
+    )
+
+
+def run_sweep():
+    return [run_scale(scale) for scale in (0.5, 1.0, 2.0)]
+
+
+def test_scale_sweep(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    by_scale = {row[0]: row for row in rows}
+    # Bigger topologies yield at least as many candidate pairs and
+    # (weakly) deeper tunnels.
+    assert by_scale[2.0][2] >= by_scale[0.5][2]
+    assert by_scale[2.0][4] >= by_scale[0.5][4]
+    for row in rows:
+        assert row[3] > 0  # every scale reveals something
+    emit(
+        "scale_sweep",
+        format_table(
+            ["scale", "routers", "pairs", "revealed", "max FTL",
+             "probes"],
+            rows,
+            title="Campaign behaviour across topology scales",
+        ),
+    )

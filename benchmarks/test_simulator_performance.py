@@ -1,0 +1,76 @@
+"""Performance benches for the simulator itself.
+
+Not a paper artefact: these keep the substrate honest.  The campaign
+experiments replay tens of thousands of probes; per-probe cost and
+route-cache effectiveness are what make that feasible, so regressions
+here matter as much as scientific ones.
+"""
+
+import pytest
+
+from repro.dataplane.engine import ForwardingEngine
+from repro.routing.control import ControlPlane
+from repro.synth.gns3 import build_gns3
+from repro.synth.internet import InternetConfig, build_internet
+from repro.synth.profiles import paper_profiles
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return build_internet(InternetConfig(seed=77))
+
+
+def test_perf_single_probe_testbed(benchmark):
+    testbed = build_gns3("backward-recursive")
+    dst = testbed.address("CE2.left")
+    vp = testbed.vantage_point
+
+    def probe():
+        return testbed.engine.send_probe(vp, dst, ttl=7, flow_id=1)
+
+    outcome = benchmark(probe)
+    assert outcome.responded
+
+
+def test_perf_probe_across_internet(benchmark, internet):
+    vp = internet.vps[0]
+    dst = internet.campaign_targets()[-1]
+
+    def probe():
+        return internet.engine.send_probe(vp, dst, ttl=40, flow_id=1)
+
+    outcome = benchmark(probe)
+    assert outcome.forward_path
+
+
+def test_perf_full_traceroute(benchmark, internet):
+    vp = internet.vps[0]
+    dst = internet.campaign_targets()[0]
+
+    def trace():
+        return internet.prober.traceroute(vp, dst, start_ttl=2)
+
+    result = benchmark(trace)
+    assert result.hops
+
+
+def test_perf_cold_vs_warm_routing(benchmark, internet):
+    """Route resolution with a cold cache (the expensive path)."""
+    vp = internet.vps[0]
+    dst = internet.campaign_targets()[5]
+
+    def cold_resolve():
+        control = ControlPlane(internet.network)
+        engine = ForwardingEngine(internet.network, control)
+        return engine.send_probe(vp, dst, ttl=40, flow_id=1)
+
+    outcome = benchmark(cold_resolve)
+    assert outcome.forward_path
+
+
+def test_perf_internet_build(benchmark):
+    def build():
+        return build_internet(InternetConfig(seed=5))
+
+    internet = benchmark(build)
+    assert len(internet.network.routers) > 100

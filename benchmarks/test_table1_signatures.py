@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 1 (router TTL signatures)."""
+
+from repro.experiments import table1_signatures
+
+
+def test_table1_signatures(benchmark, emit):
+    result = benchmark(table1_signatures.run)
+    assert result.all_match
+    emit("table1_signatures", result.text)

@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 2 (visibility effects grid)."""
+
+from repro.experiments import table2_visibility
+
+
+def test_table2_visibility_grid(benchmark, emit):
+    result = benchmark(table2_visibility.run)
+    assert result.all_match
+    assert len(result.cells) == 16
+    emit("table2_visibility", result.text)

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 3 (cross-validation on explicit tunnels)."""
+
+from repro.experiments import table3_crossval
+
+
+def test_table3_crossvalidation(benchmark, emit):
+    result = benchmark(table3_crossval.run)
+    assert result.tunnels_found > 0
+    # Shape: the techniques recover the vast majority of tunnels and
+    # DPR dominates BRPR (Table 3: 92% success, DPR 57% vs BRPR 3%).
+    assert result.success_rate >= 0.8
+    assert result.shares.get("dpr-successful", 0) > result.shares.get(
+        "brpr-successful", 0
+    )
+    emit("table3_crossvalidation", result.text)

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table 4 (per-AS tunnel discovery + density)."""
+
+from repro.experiments import table4_per_as
+
+
+def test_table4_per_as(benchmark, emit):
+    result = benchmark(table4_per_as.run)
+    rows = result.rows
+    # Shape: densities drop for most ASes with revelations (Table 4's
+    # headline; tiny hub-shaped meshes may tick up), and the UHP-only
+    # operator (AS2856) reveals nothing.
+    drops = sum(
+        1
+        for summary in rows.values()
+        if summary.revealed_pairs > 0
+        and summary.density_after < summary.density_before - 1e-9
+    )
+    rises = sum(
+        1
+        for summary in rows.values()
+        if summary.revealed_pairs > 0
+        and summary.density_after > summary.density_before + 1e-9
+    )
+    assert drops > rises
+    assert rows[2856].revealed_pairs == 0
+    revealed = sum(r.revealed_pairs for r in rows.values())
+    assert revealed > 0
+    emit("table4_per_as", result.text)

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table 5 (per-AS MPLS deployment)."""
+
+from repro.experiments import table5_deployment
+
+
+def test_table5_deployment(benchmark, emit):
+    result = benchmark(table5_deployment.run)
+    rows = result.rows
+    # Shape: the pure-Juniper AS3257 leans DPR; the Cisco all-prefixes
+    # AS3491 shows BRPR activity; signature shares reflect hardware.
+    assert rows[3257].signature_shares.get("<255,64>", 0) > 0.3
+    assert rows[3257].technique_shares.get("dpr", 0) >= rows[
+        3257
+    ].technique_shares.get("brpr", 0)
+    assert rows[3491].signature_shares.get("<255,255>", 0) > 0.3
+    emit("table5_deployment", result.text)

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 6 (technique applicability matrix)."""
+
+from repro.experiments import table6_applicability
+
+
+def test_table6_applicability(benchmark, emit):
+    result = benchmark(table6_applicability.run)
+    assert result.all_verified
+    emit("table6_applicability", result.text)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""RSVP-TE traffic engineering and the limits of revelation.
+
+The paper's survey: 42% of operators run RSVP-TE alongside LDP, and
+UHP — which defeats all four techniques — "is generally used only when
+the operator implements sophisticated traffic engineering".  This
+example pins transit traffic to an explicit detour path with a TE
+tunnel and shows:
+
+1. the IGP path vs the TE-steered path (ground truth),
+2. what traceroute sees under PHP vs UHP popping,
+3. that the revelation pipeline comes up empty either way: DPR/BRPR
+   walk the IGP/LDP routes toward the egress, and an RSVP-TE detour
+   is simply not there — the paper's Sec. 3.4 caveat ("UHP, mainly
+   designed for traffic engineering oriented tunnels, turns RSVP-TE
+   tunnels really invisible").
+
+Run:  python examples/rsvp_te_tunnels.py
+"""
+
+from repro import MplsConfig, Network, PoppingMode, Prober, reveal_tunnel
+from repro.dataplane.engine import ForwardingEngine
+from repro.mpls.rsvp import TeTunnel
+from repro.net.vendors import CISCO
+from repro.routing.control import ControlPlane
+
+
+def build(popping):
+    network = Network()
+    src = network.add_router("src", asn=1)
+    config = MplsConfig.from_vendor(CISCO, ttl_propagate=False)
+    ingress = network.add_router("in", asn=2, mpls=config)
+    top = network.add_router("top", asn=2, mpls=config)
+    bot1 = network.add_router("bot1", asn=2, mpls=config)
+    bot2 = network.add_router("bot2", asn=2, mpls=config)
+    egress = network.add_router("out", asn=2, mpls=config)
+    dst = network.add_router("dst", asn=3)
+    network.add_link(src, ingress)
+    network.add_link(ingress, top, weight=1)
+    network.add_link(top, egress, weight=1)
+    network.add_link(ingress, bot1, weight=10)
+    network.add_link(bot1, bot2, weight=10)
+    network.add_link(bot2, egress, weight=10)
+    network.add_link(egress, dst)
+    control = ControlPlane(network)
+    control.install_te_tunnel(
+        TeTunnel(
+            name="detour",
+            path=("in", "bot1", "bot2", "out"),
+            popping=popping,
+        )
+    )
+    engine = ForwardingEngine(network, control)
+    return network, engine, src, dst
+
+
+def main() -> None:
+    for popping in (PoppingMode.PHP, PoppingMode.UHP):
+        network, engine, src, dst = build(popping)
+        prober = Prober(engine)
+        print("=" * 64)
+        print(f"TE tunnel with {popping.value.upper()} popping")
+        print("=" * 64)
+        truth = engine.send_probe(src, dst.loopback, ttl=255, flow_id=0)
+        print("ground-truth path :", " -> ".join(truth.forward_path))
+        trace = prober.traceroute(src, dst.loopback)
+        seen = [hop.responder_router for hop in trace.responsive_hops]
+        print("traceroute sees   :", " -> ".join(seen))
+        ingress_hop = next(
+            (h for h in trace.responsive_hops
+             if h.responder_router == "in"), None,
+        )
+        egress_hop = next(
+            (h for h in trace.responsive_hops
+             if h.responder_router == "out"), None,
+        )
+        if ingress_hop and egress_hop:
+            revelation = reveal_tunnel(
+                prober, src, ingress_hop.address, egress_hop.address
+            )
+            names = [
+                network.owner_of(a).name for a in revelation.revealed
+            ]
+            print(
+                f"revelation        : {revelation.method.value}, "
+                f"revealed {names or 'nothing'}"
+            )
+        else:
+            print("revelation        : no candidate pair — the egress "
+                  "itself is hidden (UHP)")
+        print()
+    print(
+        "Neither popping mode lets the techniques see the TE detour:\n"
+        "probes toward the egress ride the IGP/LDP paths, on which the\n"
+        "detour's routers never forward — revelation exposes LDP\n"
+        "wormholes, not traffic-engineered ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

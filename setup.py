@@ -1,0 +1,9 @@
+"""Thin shim so ``pip install -e .`` works without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+pip's legacy editable-install path in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

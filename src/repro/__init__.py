@@ -1,0 +1,104 @@
+"""repro — a reproduction of *Through the Wormhole: Tracking Invisible
+MPLS Tunnels* (Vanaubel, Mérindol, Pansiot, Donnet — ACM IMC 2017).
+
+The package provides, from the bottom up:
+
+* a packet-level network simulator with faithful MPLS/TTL mechanics
+  (:mod:`repro.net`, :mod:`repro.routing`, :mod:`repro.mpls`,
+  :mod:`repro.dataplane`),
+* Paris-traceroute/ping probing (:mod:`repro.probing`),
+* the paper's four measurement techniques — FRPLA, RTLA, DPR, BRPR —
+  and their combined revelation pipeline (:mod:`repro.core`),
+* emulation testbeds and a synthetic Internet (:mod:`repro.synth`),
+* campaign orchestration and analysis (:mod:`repro.campaign`,
+  :mod:`repro.analysis`),
+* one experiment module per table/figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import build_gns3, reveal_tunnel
+
+    testbed = build_gns3("backward-recursive")
+    trace = testbed.traceroute("CE2.left")
+    print(testbed.render(trace))          # the invisible tunnel
+    revelation = reveal_tunnel(
+        testbed.prober, testbed.vantage_point,
+        testbed.address("PE1.left"), testbed.address("PE2.left"),
+    )
+    print([testbed.name_of(a) for a in revelation.revealed])
+"""
+
+from repro.campaign.orchestrator import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+)
+from repro.core.brpr import backward_recursive_revelation
+from repro.core.classify import expected_visibility, technique_applicability
+from repro.core.dpr import direct_path_revelation
+from repro.core.frpla import FrplaAnalyzer, rfa_of_hop, rfa_samples
+from repro.core.revelation import (
+    Revelation,
+    RevelationMethod,
+    TunnelAwareTraceroute,
+    candidate_endpoints,
+    reveal_tunnel,
+)
+from repro.core.rtla import RtlaAnalyzer
+from repro.core.signatures import Signature, SignatureInventory
+from repro.dataplane.engine import ForwardingEngine
+from repro.mpls.config import MplsConfig, PoppingMode
+from repro.net.addressing import Prefix, format_address, parse_address
+from repro.net.topology import Network
+from repro.net.vendors import BROCADE, CISCO, JUNIPER, JUNIPER_E, LdpPolicy
+from repro.probing.prober import Prober, Trace
+from repro.routing.control import ControlPlane
+from repro.synth.gns3 import build_gns3
+from repro.synth.internet import (
+    InternetConfig,
+    SyntheticInternet,
+    build_internet,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BROCADE",
+    "CISCO",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "ControlPlane",
+    "ForwardingEngine",
+    "FrplaAnalyzer",
+    "InternetConfig",
+    "JUNIPER",
+    "JUNIPER_E",
+    "LdpPolicy",
+    "MplsConfig",
+    "Network",
+    "PoppingMode",
+    "Prefix",
+    "Prober",
+    "Revelation",
+    "RevelationMethod",
+    "RtlaAnalyzer",
+    "Signature",
+    "SignatureInventory",
+    "SyntheticInternet",
+    "Trace",
+    "TunnelAwareTraceroute",
+    "backward_recursive_revelation",
+    "build_gns3",
+    "build_internet",
+    "candidate_endpoints",
+    "direct_path_revelation",
+    "expected_visibility",
+    "format_address",
+    "parse_address",
+    "reveal_tunnel",
+    "rfa_of_hop",
+    "rfa_samples",
+    "technique_applicability",
+]

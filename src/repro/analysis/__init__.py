@@ -1,0 +1,29 @@
+"""Analysis: trace graphs, correction, aliasing, delays, asymmetry."""
+
+from repro.analysis.alias import AliasSets, MercatorResolver, score_against_truth
+from repro.analysis.asymmetry import AsymmetryReport, measure_asymmetry
+from repro.analysis.correction import (
+    corrected_graph,
+    degree_distributions,
+    path_length_distributions,
+)
+from repro.analysis.delays import corrected_rtt_profile, rtt_jump, rtt_profile
+from repro.analysis.graphs import GraphSummary, summarize_graph
+from repro.analysis.itdk import TraceGraph
+
+__all__ = [
+    "AliasSets",
+    "AsymmetryReport",
+    "GraphSummary",
+    "MercatorResolver",
+    "TraceGraph",
+    "corrected_graph",
+    "corrected_rtt_profile",
+    "degree_distributions",
+    "measure_asymmetry",
+    "path_length_distributions",
+    "rtt_jump",
+    "rtt_profile",
+    "score_against_truth",
+    "summarize_graph",
+]

@@ -1,0 +1,141 @@
+"""Alias resolution: grouping interface addresses into routers.
+
+The paper's whole pipeline sits on top of router-level graphs "obtained
+by grouping together IP addresses collected with traceroute: this
+process is called alias resolution" (Sec. 1).  CAIDA's ITDK does it
+for them; offline we implement the classic **Mercator** technique: a
+UDP probe to an unused port makes the router answer from the *outgoing*
+interface toward the prober, and a response address different from the
+probed one proves both addresses sit on one box.
+
+The resolver produces a union-find clustering plus an ``alias_of``
+callable directly pluggable into :class:`~repro.analysis.itdk.TraceGraph`,
+and can be scored against ground truth (precision/recall over address
+pairs) — a luxury the real Internet never grants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.net.router import Router
+from repro.probing.prober import Prober
+
+__all__ = ["AliasSets", "MercatorResolver", "score_against_truth"]
+
+
+class AliasSets:
+    """Union-find over addresses; each set is one inferred router."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+
+    def add(self, address: int) -> None:
+        """Register an address (its own singleton set initially)."""
+        self._parent.setdefault(address, address)
+
+    def find(self, address: int) -> int:
+        """Canonical representative of the address's set."""
+        self.add(address)
+        root = address
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[address] != root:  # path compression
+            self._parent[address], address = root, self._parent[address]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        """Merge the sets of ``a`` and ``b``."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            # Smaller representative wins: deterministic set ids.
+            if root_b < root_a:
+                root_a, root_b = root_b, root_a
+            self._parent[root_b] = root_a
+
+    def same(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` were merged."""
+        return self.find(a) == self.find(b)
+
+    def sets(self) -> List[Set[int]]:
+        """All alias sets, deterministically ordered."""
+        by_root: Dict[int, Set[int]] = {}
+        for address in self._parent:
+            by_root.setdefault(self.find(address), set()).add(address)
+        return [by_root[root] for root in sorted(by_root)]
+
+    def alias_of(self) -> Callable[[int], Optional[str]]:
+        """An ``alias_of`` resolver for :class:`TraceGraph`."""
+        def resolver(address: int) -> Optional[str]:
+            if address not in self._parent:
+                return None
+            from repro.net.addressing import format_address
+
+            return f"router_{format_address(self.find(address))}"
+
+        return resolver
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+
+@dataclass
+class MercatorResolver:
+    """Runs Mercator-style alias probing over a set of addresses."""
+
+    prober: Prober
+    vantage_point: Router
+    probes_sent: int = 0
+    aliases_found: int = 0
+
+    def resolve(self, addresses: Iterable[int]) -> AliasSets:
+        """Probe every address; merge (probed, response) pairs."""
+        sets = AliasSets()
+        for address in sorted(set(addresses)):
+            sets.add(address)
+            result = self.prober.udp_probe(self.vantage_point, address)
+            self.probes_sent += 1
+            if result.reveals_alias:
+                sets.union(address, result.response_address)
+                self.aliases_found += 1
+        return sets
+
+
+def score_against_truth(
+    sets: AliasSets,
+    owner_of: Callable[[int], Optional[object]],
+    addresses: Optional[Iterable[int]] = None,
+) -> Tuple[float, float]:
+    """(precision, recall) of the clustering over address pairs.
+
+    A pair counts as a true alias when ``owner_of`` maps both
+    addresses to the same (non-None) object.  Returns (1.0, 1.0) for
+    degenerate inputs with no pairs.
+    """
+    population = sorted(
+        set(addresses) if addresses is not None else set()
+    )
+    if not population:
+        population = sorted(
+            address for group in sets.sets() for address in group
+        )
+    true_positive = 0
+    predicted = 0
+    actual = 0
+    for i, a in enumerate(population):
+        for b in population[i + 1 :]:
+            owner_a, owner_b = owner_of(a), owner_of(b)
+            is_true = (
+                owner_a is not None and owner_a is owner_b
+            )
+            is_predicted = sets.same(a, b)
+            if is_true:
+                actual += 1
+            if is_predicted:
+                predicted += 1
+            if is_true and is_predicted:
+                true_positive += 1
+    precision = true_positive / predicted if predicted else 1.0
+    recall = true_positive / actual if actual else 1.0
+    return precision, recall

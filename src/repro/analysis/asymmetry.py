@@ -1,0 +1,121 @@
+"""Routing asymmetry analysis (FRPLA's operating assumption).
+
+FRPLA attributes the return-minus-forward length difference to hidden
+tunnel hops, which only works "on average over a large number of
+pairs" because forward and return routes differ (BGP hot potato,
+Sec. 3.4).  With the simulator's ground truth we can measure that
+asymmetry exactly — how often paths differ, by how many hops, and
+whether the difference really centres at zero — and thereby validate
+the assumption instead of assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.dataplane.engine import ForwardingEngine
+from repro.net.router import Router
+from repro.stats.distributions import Distribution
+
+__all__ = ["PathPair", "AsymmetryReport", "measure_asymmetry"]
+
+
+@dataclass(frozen=True)
+class PathPair:
+    """Ground-truth forward and return router paths for one probe."""
+
+    source: str
+    dst: int
+    forward: Tuple[str, ...]  #: router names, source first
+    reverse: Tuple[str, ...]  #: router names, destination first
+
+    @property
+    def complete(self) -> bool:
+        """True when both directions were walked end to end."""
+        return bool(self.forward) and bool(self.reverse)
+
+    @property
+    def length_difference(self) -> int:
+        """Return-path links minus forward-path links."""
+        return (len(self.reverse) - 1) - (len(self.forward) - 1)
+
+    @property
+    def symmetric(self) -> bool:
+        """True when the return path is the exact reverse."""
+        return self.reverse == tuple(reversed(self.forward))
+
+
+@dataclass
+class AsymmetryReport:
+    """Aggregate asymmetry statistics over many pairs."""
+
+    pairs: List[PathPair] = field(default_factory=list)
+
+    @property
+    def symmetric_fraction(self) -> float:
+        """Share of pairs whose paths mirror exactly (0 when empty)."""
+        if not self.pairs:
+            return 0.0
+        return sum(1 for p in self.pairs if p.symmetric) / len(self.pairs)
+
+    def length_differences(self) -> Distribution:
+        """Distribution of return-minus-forward link counts."""
+        return Distribution(p.length_difference for p in self.pairs)
+
+    def centred(self, tolerance: float = 1.0) -> bool:
+        """Is the length-difference distribution centred near 0?
+
+        This is FRPLA's requirement: routing asymmetry must cancel out
+        over many vantage/destination pairs.
+        """
+        distribution = self.length_differences()
+        if not len(distribution):
+            return False
+        return abs(distribution.median) <= tolerance
+
+
+def measure_asymmetry(
+    engine: ForwardingEngine,
+    sources: Sequence[Router],
+    destinations: Sequence[int],
+    owner_of: Callable[[int], Optional[Router]],
+    flow_id: int = 0,
+) -> AsymmetryReport:
+    """Walk forward and return data paths for every (source, dst).
+
+    Uses full-TTL data probes (ground truth, not ICMP-dependent): the
+    forward walk from the source to ``dst``, then the return walk from
+    the destination's owner back to the source's loopback.
+    """
+    report = AsymmetryReport()
+    for source in sources:
+        for dst in destinations:
+            owner = owner_of(dst)
+            if owner is None or owner is source:
+                continue
+            forward = engine.send_probe(
+                source, dst, ttl=255, flow_id=flow_id
+            )
+            if (
+                not forward.forward_path
+                or forward.forward_path[-1] != owner.name
+            ):
+                continue
+            reverse = engine.send_probe(
+                owner, source.loopback, ttl=255, flow_id=flow_id
+            )
+            if (
+                not reverse.forward_path
+                or reverse.forward_path[-1] != source.name
+            ):
+                continue
+            report.pairs.append(
+                PathPair(
+                    source=source.name,
+                    dst=dst,
+                    forward=tuple(forward.forward_path),
+                    reverse=tuple(reverse.forward_path),
+                )
+            )
+    return report

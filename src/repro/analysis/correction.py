@@ -1,0 +1,117 @@
+"""Internet-model correction (Sec. 7).
+
+Once hidden tunnels are revealed, the biased ITDK-style graph can be
+repaired: the false Ingress–Egress edge is replaced by the revealed
+LSR chain.  This module applies revelations to a :class:`TraceGraph`
+(Fig. 10's degree distributions) and to per-trace path lengths
+(Fig. 11's distribution shift).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.analysis.itdk import TraceGraph
+from repro.core.revelation import Revelation
+from repro.probing.prober import Trace
+from repro.stats.distributions import Distribution
+
+__all__ = [
+    "corrected_graph",
+    "degree_distributions",
+    "trace_length",
+    "corrected_trace_length",
+    "path_length_distributions",
+]
+
+
+def corrected_graph(
+    graph: TraceGraph, revelations: Iterable[Revelation]
+) -> TraceGraph:
+    """Replace false I–E edges with the revealed LSR chains.
+
+    The original graph is left untouched; the copy has, for every
+    successful revelation, the direct ingress–egress edge removed and
+    the chain ``ingress – H1 – … – Hn – egress`` inserted.
+    """
+    fixed = graph.copy()
+    for revelation in revelations:
+        if not revelation.success:
+            continue
+        node_in = fixed.node_of(revelation.ingress)
+        node_out = fixed.node_of(revelation.egress)
+        fixed.remove_edge(node_in, node_out)
+        fixed.add_path(
+            [revelation.ingress, *revelation.revealed, revelation.egress]
+        )
+    return fixed
+
+
+def degree_distributions(
+    graph: TraceGraph,
+    revelations: Iterable[Revelation],
+    asn: Optional[int] = None,
+) -> Tuple[Distribution, Distribution]:
+    """(invisible, visible) degree distributions (Fig. 10).
+
+    ``asn`` restricts both distributions to nodes of one AS (the
+    Fig. 10b per-AS view).
+    """
+    fixed = corrected_graph(graph, revelations)
+
+    def degrees(g: TraceGraph) -> Distribution:
+        nodes = g.nodes() if asn is None else g.nodes_in_as(asn)
+        return Distribution(g.degree(node) for node in nodes)
+
+    return degrees(graph), degrees(fixed)
+
+
+def trace_length(trace: Trace) -> Optional[int]:
+    """Observed forward path length of a completed trace."""
+    return trace.forward_length
+
+
+def corrected_trace_length(
+    trace: Trace,
+    revelation_of: Callable[[int, int], Optional[Revelation]],
+) -> Optional[int]:
+    """Forward path length with hidden hops re-counted.
+
+    For every pair of consecutive responding hops that matches a
+    revealed tunnel, the tunnel's hidden hop count is added.  Like the
+    paper, only tunnels that were actually revealed contribute (a
+    trace through several invisible ASes is still under-counted).
+    """
+    length = trace.forward_length
+    if length is None:
+        return None
+    hops = trace.responsive_hops
+    for first, second in zip(hops, hops[1:]):
+        if second.probe_ttl != first.probe_ttl + 1:
+            continue
+        revelation = revelation_of(first.address, second.address)
+        if revelation is not None and revelation.success:
+            length += revelation.tunnel_length
+    return length
+
+
+def path_length_distributions(
+    traces: Iterable[Trace],
+    revelations: Dict[Tuple[int, int], Revelation],
+) -> Tuple[Distribution, Distribution]:
+    """(invisible, visible) path-length distributions (Fig. 11)."""
+    lookup = revelations.get
+
+    def revelation_of(a: int, b: int) -> Optional[Revelation]:
+        return lookup((a, b))
+
+    invisible = Distribution()
+    visible = Distribution()
+    for trace in traces:
+        raw = trace_length(trace)
+        if raw is None:
+            continue
+        invisible.add(raw)
+        corrected = corrected_trace_length(trace, revelation_of)
+        visible.add(corrected if corrected is not None else raw)
+    return invisible, visible

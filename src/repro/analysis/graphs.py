@@ -1,0 +1,151 @@
+"""Aggregate graph metrics for Internet-model analysis (Sec. 7).
+
+Path-length statistics (shortest paths, average path length, diameter)
+and global clustering over :class:`~repro.analysis.itdk.TraceGraph`
+instances — the metrics the paper lists as biased by invisible
+tunnels.  Pure-Python BFS keeps the module dependency-free; the graphs
+involved are campaign-sized, not Internet-sized.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.itdk import TraceGraph
+from repro.stats.distributions import Distribution
+
+__all__ = [
+    "bfs_distances",
+    "connected_components",
+    "shortest_path_stats",
+    "average_clustering",
+    "GraphSummary",
+    "summarize_graph",
+]
+
+
+def bfs_distances(graph: TraceGraph, source: str) -> Dict[str, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for peer in graph.neighbors(node):
+            if peer not in distances:
+                distances[peer] = distances[node] + 1
+                frontier.append(peer)
+    return distances
+
+
+def connected_components(graph: TraceGraph) -> List[Set[str]]:
+    """Connected components, largest first."""
+    remaining = set(graph.nodes())
+    components: List[Set[str]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = set(bfs_distances(graph, seed))
+        components.append(component)
+        remaining -= component
+    return sorted(components, key=len, reverse=True)
+
+
+def shortest_path_stats(
+    graph: TraceGraph,
+    sources: Optional[Iterable[str]] = None,
+) -> Tuple[Distribution, int]:
+    """(pairwise shortest-path distribution, diameter).
+
+    ``sources`` restricts the BFS origins (sampling for big graphs);
+    the distribution covers ordered reachable pairs from them.
+    """
+    origins = list(sources) if sources is not None else graph.nodes()
+    lengths = Distribution()
+    diameter = 0
+    for source in origins:
+        if not graph.has_node(source):
+            continue
+        for node, distance in bfs_distances(graph, source).items():
+            if node == source:
+                continue
+            lengths.add(distance)
+            if distance > diameter:
+                diameter = distance
+    return lengths, diameter
+
+
+def average_clustering(graph: TraceGraph) -> float:
+    """Mean local clustering coefficient over all nodes (0 if empty)."""
+    nodes = graph.nodes()
+    if not nodes:
+        return 0.0
+    return sum(
+        graph.clustering_coefficient(node) for node in nodes
+    ) / len(nodes)
+
+
+class GraphSummary:
+    """Headline metrics of one graph, ready for before/after tables."""
+
+    def __init__(
+        self,
+        node_count: int,
+        edge_count: int,
+        density: float,
+        mean_degree: float,
+        max_degree: int,
+        mean_path_length: Optional[float],
+        diameter: int,
+        clustering: float,
+        components: int,
+    ) -> None:
+        self.node_count = node_count
+        self.edge_count = edge_count
+        self.density = density
+        self.mean_degree = mean_degree
+        self.max_degree = max_degree
+        self.mean_path_length = mean_path_length
+        self.diameter = diameter
+        self.clustering = clustering
+        self.components = components
+
+    def as_row(self) -> Tuple:
+        """Values in a stable column order (for text tables)."""
+        return (
+            self.node_count,
+            self.edge_count,
+            f"{self.density:.4f}",
+            f"{self.mean_degree:.2f}",
+            self.max_degree,
+            "-"
+            if self.mean_path_length is None
+            else f"{self.mean_path_length:.2f}",
+            self.diameter,
+            f"{self.clustering:.3f}",
+            self.components,
+        )
+
+
+def summarize_graph(
+    graph: TraceGraph, path_samples: Optional[int] = None
+) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``.
+
+    ``path_samples`` caps the number of BFS origins for the path
+    statistics (None = all nodes).
+    """
+    degrees = graph.degree_distribution()
+    nodes = graph.nodes()
+    origins = nodes if path_samples is None else nodes[:path_samples]
+    lengths, diameter = shortest_path_stats(graph, origins)
+    return GraphSummary(
+        node_count=len(graph),
+        edge_count=graph.edge_count(),
+        density=graph.density(),
+        mean_degree=degrees.mean if len(degrees) else 0.0,
+        max_degree=int(degrees.max) if len(degrees) else 0,
+        mean_path_length=lengths.mean if len(lengths) else None,
+        diameter=diameter,
+        clustering=average_clustering(graph),
+        components=len(connected_components(graph)),
+    )

@@ -1,0 +1,32 @@
+"""Campaign orchestration, post-processing, cross-validation."""
+
+from repro.campaign.crossval import (
+    CrossValOutcome,
+    cross_validate,
+    extract_explicit_tunnels,
+)
+from repro.campaign.hdn_driven import run_hdn_driven_campaign
+from repro.campaign.orchestrator import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    CandidatePair,
+)
+from repro.campaign.postprocess import Aggregator
+from repro.campaign.report import render_report
+from repro.campaign.targets import select_targets, split_among_teams
+
+__all__ = [
+    "Aggregator",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "CandidatePair",
+    "CrossValOutcome",
+    "cross_validate",
+    "extract_explicit_tunnels",
+    "render_report",
+    "run_hdn_driven_campaign",
+    "select_targets",
+    "split_among_teams",
+]

@@ -1,0 +1,211 @@
+"""Cross-validation of DPR/BRPR on *explicit* tunnels (Sec. 3.3, Table 3).
+
+The paper validates its revelation techniques by running them against
+tunnels that are already visible: on traces showing labelled LSRs
+between two LERs of one AS, re-running DPR/BRPR must rediscover the
+same hops, this time without labels.  Success criteria:
+
+* **DPR** — targeting the Egress LER yields the exact hop count
+  between the LERs with every MPLS label gone;
+* **BRPR** — each recursion step's last hop carries no label;
+* the whole attempt *fails* when the LERs are not re-discovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.revelation import (
+    Revelation,
+    RevelationMethod,
+    reveal_tunnel,
+)
+from repro.net.router import Router
+from repro.probing.prober import Prober, Trace
+
+__all__ = [
+    "ExplicitTunnel",
+    "CrossValOutcome",
+    "CrossValResult",
+    "extract_explicit_tunnels",
+    "cross_validate",
+]
+
+
+@dataclass(frozen=True)
+class ExplicitTunnel:
+    """A fully revealed LSP observed in a trace (labels quoted)."""
+
+    vp: str
+    ingress: int
+    egress: int
+    asn: int
+    lsrs: Tuple[int, ...]  #: labelled hops between the LERs
+
+
+class CrossValOutcome(Enum):
+    """Table 3 classification of one re-run."""
+
+    DPR_SUCCESS = "dpr-successful"
+    BRPR_SUCCESS = "brpr-successful"
+    HYBRID = "hybrid-dpr-brpr"
+    AMBIGUOUS = "dpr-or-brpr"  #: single-LSR tunnel
+    FAILED = "fail"
+    NOT_REDISCOVERED = "not-rediscovered"  #: dropped before Table 3
+
+
+@dataclass
+class CrossValResult:
+    """Aggregated cross-validation campaign result."""
+
+    outcomes: Dict[Tuple[int, int], CrossValOutcome] = field(
+        default_factory=dict
+    )
+    revelations: Dict[Tuple[int, int], Revelation] = field(
+        default_factory=dict
+    )
+
+    def counts(self) -> Dict[CrossValOutcome, int]:
+        """Occurrences per outcome."""
+        result: Dict[CrossValOutcome, int] = {}
+        for outcome in self.outcomes.values():
+            result[outcome] = result.get(outcome, 0) + 1
+        return result
+
+    def table3_shares(self) -> Dict[str, float]:
+        """Table 3 rows: shares over re-discovered pairs."""
+        considered = {
+            pair: outcome
+            for pair, outcome in self.outcomes.items()
+            if outcome is not CrossValOutcome.NOT_REDISCOVERED
+        }
+        total = len(considered)
+        if total == 0:
+            return {}
+        shares: Dict[str, int] = {}
+        for outcome in considered.values():
+            shares[outcome.value] = shares.get(outcome.value, 0) + 1
+        return {label: count / total for label, count in shares.items()}
+
+
+def extract_explicit_tunnels(
+    traces: Iterable[Trace],
+    asn_of: Callable[[int], Optional[int]],
+) -> List[ExplicitTunnel]:
+    """Find fully revealed LSPs: label runs flanked by same-AS LERs.
+
+    A tunnel counts only when its LSR hops are contiguous (no
+    anonymous gaps) and both flanking LERs map to the same AS — the
+    paper's selection rule.
+    """
+    tunnels: List[ExplicitTunnel] = []
+    seen: set = set()
+    for trace in traces:
+        hops = trace.responsive_hops
+        index = 0
+        while index < len(hops):
+            if not hops[index].has_labels:
+                index += 1
+                continue
+            run_start = index
+            while index < len(hops) and hops[index].has_labels:
+                index += 1
+            run_end = index  # first unlabelled hop after the run
+            if run_start == 0 or run_end >= len(hops):
+                continue
+            ingress_hop = hops[run_start - 1]
+            egress_hop = hops[run_end]
+            run = hops[run_start:run_end]
+            # Contiguity: every TTL present from ingress to egress.
+            ttls = [hop.probe_ttl for hop in hops[run_start - 1 : run_end + 1]]
+            if ttls != list(range(ttls[0], ttls[0] + len(ttls))):
+                continue
+            asn = asn_of(ingress_hop.address)
+            if asn is None or asn != asn_of(egress_hop.address):
+                continue
+            key = (ingress_hop.address, egress_hop.address)
+            if key in seen:
+                continue
+            seen.add(key)
+            tunnels.append(
+                ExplicitTunnel(
+                    vp=trace.source,
+                    ingress=ingress_hop.address,
+                    egress=egress_hop.address,
+                    asn=asn,
+                    lsrs=tuple(hop.address for hop in run),
+                )
+            )
+    return tunnels
+
+
+def cross_validate(
+    prober: Prober,
+    vp_by_name: Dict[str, Router],
+    tunnels: Iterable[ExplicitTunnel],
+    max_steps: int = 12,
+    start_ttl: int = 1,
+) -> CrossValResult:
+    """Re-run DPR then BRPR against explicit tunnels (Sec. 3.3).
+
+    * DPR succeeds when targeting the egress yields the exact hop
+      count between the LERs with every MPLS label gone (exact
+      addresses may differ under ECMP — footnote 11);
+    * BRPR succeeds when the recursion's last hops are all label-less
+      and cover the tunnel;
+    * a one-LSR tunnel revealed either way is indistinguishable
+      ("DPR or BRPR"); partial coverage by both is "hybrid".
+    """
+    result = CrossValResult()
+    for tunnel in tunnels:
+        vp = vp_by_name[tunnel.vp]
+        key = (tunnel.ingress, tunnel.egress)
+        result.outcomes[key] = _run_one(
+            prober, vp, tunnel, max_steps, start_ttl
+        )
+    return result
+
+
+def _run_one(
+    prober: Prober,
+    vp: Router,
+    tunnel: ExplicitTunnel,
+    max_steps: int,
+    start_ttl: int,
+) -> CrossValOutcome:
+    from repro.core.brpr import backward_recursive_revelation
+    from repro.core.dpr import direct_path_revelation
+
+    expected = len(tunnel.lsrs)
+    dpr = direct_path_revelation(
+        prober, vp, tunnel.ingress, tunnel.egress, start_ttl=start_ttl
+    )
+    if not dpr.through_ingress or not dpr.trace.destination_reached:
+        return CrossValOutcome.NOT_REDISCOVERED
+    dpr_complete = (
+        dpr.success and len(dpr.revealed) == expected
+    )
+    if dpr_complete:
+        if expected == 1:
+            return CrossValOutcome.AMBIGUOUS
+        return CrossValOutcome.DPR_SUCCESS
+    brpr = backward_recursive_revelation(
+        prober,
+        vp,
+        tunnel.ingress,
+        tunnel.egress,
+        max_steps=max_steps,
+        start_ttl=start_ttl,
+    )
+    if brpr.success and len(brpr.revealed) == expected:
+        if expected == 1:
+            return CrossValOutcome.AMBIGUOUS
+        return CrossValOutcome.BRPR_SUCCESS
+    combined = set(brpr.revealed)
+    if not dpr.labels_seen:
+        combined.update(dpr.revealed)
+    if len(combined) == expected and expected > 0:
+        return CrossValOutcome.HYBRID
+    return CrossValOutcome.FAILED

@@ -1,0 +1,100 @@
+"""The full two-phase, HDN-driven campaign of Sec. 4.
+
+Phase 1 (bootstrap): ordinary traceroutes build an ITDK-like router
+graph.  Phase 2: High Degree Nodes are flagged, their neighbours (set
+A) and neighbours-of-neighbours (set B) become the destination set,
+and the revelation campaign runs against those targets with the HDN
+filter on candidate pairs — exactly the paper's pipeline, where HDNs
+are "a trigger for performing dedicated invisible MPLS tunnel
+discovery".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.itdk import TraceGraph
+from repro.campaign.orchestrator import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+)
+from repro.campaign.targets import TargetSelection, select_targets
+from repro.net.router import Router
+from repro.probing.prober import Prober, Trace
+
+__all__ = ["HdnCampaignResult", "run_hdn_driven_campaign"]
+
+
+@dataclass
+class HdnCampaignResult:
+    """Both phases' artefacts."""
+
+    bootstrap_traces: List[Trace] = field(default_factory=list)
+    bootstrap_graph: Optional[TraceGraph] = None
+    selection: Optional[TargetSelection] = None
+    campaign: Optional[CampaignResult] = None
+
+    @property
+    def hdn_count(self) -> int:
+        """HDNs the bootstrap flagged."""
+        return len(self.selection.hdns) if self.selection else 0
+
+
+def run_hdn_driven_campaign(
+    prober: Prober,
+    vantage_points: Sequence[Router],
+    bootstrap_targets: Sequence[int],
+    asn_of: Callable[[int], Optional[int]],
+    hdn_threshold: int,
+    alias_of: Optional[Callable[[int], Optional[str]]] = None,
+    config: Optional[CampaignConfig] = None,
+    restrict_to_asns: Optional[Sequence[int]] = None,
+) -> HdnCampaignResult:
+    """Run bootstrap + HDN selection + focused revelation campaign.
+
+    ``hdn_threshold`` plays the paper's degree-128 role (scaled down
+    to simulation size).  ``restrict_to_asns`` optionally keeps only
+    candidate pairs inside given (suspicious) ASes, like the paper's
+    same-AS post-processing.
+    """
+    result = HdnCampaignResult()
+    base_config = config or CampaignConfig()
+
+    # Phase 1 — bootstrap sweep from every VP.
+    for vp in vantage_points:
+        for dst in bootstrap_targets:
+            result.bootstrap_traces.append(
+                prober.traceroute(
+                    vp, dst, start_ttl=base_config.start_ttl
+                )
+            )
+    graph = TraceGraph(alias_of, asn_of)
+    graph.add_traces(result.bootstrap_traces)
+    result.bootstrap_graph = graph
+
+    # Phase 2 — HDN-driven target selection.
+    selection = select_targets(graph, threshold=hdn_threshold)
+    result.selection = selection
+    if not selection.destinations:
+        return result
+
+    focused_config = CampaignConfig(
+        start_ttl=base_config.start_ttl,
+        teams=base_config.teams,
+        probing_rate_pps=base_config.probing_rate_pps,
+        max_revelation_steps=base_config.max_revelation_steps,
+        suspicious_asns=(
+            tuple(restrict_to_asns)
+            if restrict_to_asns is not None
+            else base_config.suspicious_asns
+        ),
+        hdn_addresses=frozenset(selection.hdn_addresses),
+        ping_discovered=base_config.ping_discovered,
+    )
+    campaign = Campaign(
+        prober, vantage_points, asn_of, focused_config
+    )
+    result.campaign = campaign.run(selection.destinations)
+    return result

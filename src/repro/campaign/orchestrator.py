@@ -1,0 +1,265 @@
+"""Measurement campaign orchestration (Sec. 4).
+
+A :class:`Campaign` drives the full measurement pipeline over a
+synthetic Internet:
+
+1. traceroute every (vantage point, destination) pair — Paris
+   traceroute with ICMP echo probes starting at TTL 2;
+2. ping every address discovered, for TTL fingerprinting;
+3. extract candidate Ingress–Egress pairs from trace tails
+   (``..., X, Y, D`` with X and Y in the same suspicious AS);
+4. run the DPR/BRPR revelation recursion on each pair.
+
+The result object carries raw traces, pings, revelations, and ready
+analyzers (signatures, FRPLA, RTLA) for the experiment code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.frpla import FrplaAnalyzer
+from repro.core.revelation import (
+    Revelation,
+    candidate_endpoints,
+    reveal_tunnel,
+)
+from repro.core.rtla import RtlaAnalyzer
+from repro.core.signatures import SignatureInventory
+from repro.net.router import Router
+from repro.probing.prober import PingResult, Prober, Trace
+
+__all__ = ["CampaignConfig", "CandidatePair", "CampaignResult", "Campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Campaign parameters."""
+
+    start_ttl: int = 2  #: the paper starts probing at TTL 2
+    teams: int = 5  #: VP teams sharing the destination set
+    probing_rate_pps: float = 25.0  #: scamper rate in the paper
+    max_revelation_steps: int = 12
+    #: Only keep candidate pairs whose endpoints both map to one of
+    #: these ASes (the "suspicious" MPLS transits).  None = any AS.
+    suspicious_asns: Optional[Tuple[int, ...]] = None
+    #: Optional HDN address filter: when set, X and Y must be in it.
+    hdn_addresses: Optional[frozenset] = None
+    ping_discovered: bool = True
+
+
+@dataclass
+class CandidatePair:
+    """One candidate invisible tunnel: trace tail ``X, Y, D``."""
+
+    vp: str  #: observing vantage point (router name)
+    ingress: int  #: X
+    egress: int  #: Y
+    asn: int  #: common AS of X and Y
+    trace: Trace  #: the original transit trace
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    traces: List[Trace] = field(default_factory=list)
+    pings: Dict[int, PingResult] = field(default_factory=dict)
+    pairs: List[CandidatePair] = field(default_factory=list)
+    #: (ingress, egress) -> revelation outcome
+    revelations: Dict[Tuple[int, int], Revelation] = field(
+        default_factory=dict
+    )
+    inventory: SignatureInventory = field(default_factory=SignatureInventory)
+    rtla: RtlaAnalyzer = field(default_factory=RtlaAnalyzer)
+    probes_sent: int = 0
+    revelation_probes: int = 0
+
+    # ------------------------------------------------------------------
+
+    def successful_revelations(self) -> List[Revelation]:
+        """Revelations that exposed at least one hidden hop."""
+        return [r for r in self.revelations.values() if r.success]
+
+    def revealed_addresses(self) -> Set[int]:
+        """All addresses surfaced by revelation."""
+        revealed: Set[int] = set()
+        for revelation in self.revelations.values():
+            revealed.update(revelation.revealed)
+        return revealed
+
+    def revelation_for_pair(
+        self, ingress: int, egress: int
+    ) -> Optional[Revelation]:
+        """Lookup by endpoint pair."""
+        return self.revelations.get((ingress, egress))
+
+    def duration_estimate_seconds(
+        self, rate_pps: float = 25.0, teams: int = 5
+    ) -> float:
+        """Wall-clock estimate for the whole campaign.
+
+        Teams probe concurrently at ``rate_pps`` each (the paper ran
+        scamper at 25 packets/second per VP set; its five sets took 11
+        to 18 days over 1.3M destinations).
+        """
+        if rate_pps <= 0 or teams < 1:
+            raise ValueError("rate and team count must be positive")
+        total = self.probes_sent + self.revelation_probes
+        return total / (rate_pps * teams)
+
+
+class Campaign:
+    """Runs the Sec. 4 pipeline against a simulated Internet."""
+
+    def __init__(
+        self,
+        prober: Prober,
+        vantage_points: Sequence[Router],
+        asn_of: Callable[[int], Optional[int]],
+        config: Optional[CampaignConfig] = None,
+    ) -> None:
+        if not vantage_points:
+            raise ValueError("campaign needs at least one vantage point")
+        self.prober = prober
+        self.vps = list(vantage_points)
+        self.asn_of = asn_of
+        self.config = config or CampaignConfig()
+        self._vp_by_name = {vp.name: vp for vp in self.vps}
+
+    # ------------------------------------------------------------------
+    # Phases
+
+    def run(self, destinations: Sequence[int]) -> CampaignResult:
+        """Full pipeline: trace, ping, extract pairs, reveal."""
+        result = CampaignResult()
+        self.trace_phase(destinations, result)
+        if self.config.ping_discovered:
+            self.ping_phase(result)
+        self.extract_pairs(result)
+        self.revelation_phase(result)
+        return result
+
+    def trace_phase(
+        self, destinations: Sequence[int], result: CampaignResult
+    ) -> None:
+        """Traceroute each destination from its team's VPs."""
+        teams = self._team_assignment(destinations)
+        before = self.prober.probes_sent
+        for vp, dst in teams:
+            trace = self.prober.traceroute(
+                vp, dst, start_ttl=self.config.start_ttl
+            )
+            result.traces.append(trace)
+            result.inventory.observe_trace(trace)
+            result.rtla.add_trace(trace)
+        result.probes_sent += self.prober.probes_sent - before
+
+    def ping_phase(self, result: CampaignResult) -> None:
+        """Ping every address seen in the traces (fingerprinting).
+
+        Each address is pinged from *every* vantage point that saw it:
+        RTLA pairs time-exceeded and echo-reply observations per VP,
+        so a ping from a different VP would be useless to it.
+        """
+        pairs: Set[Tuple[str, int]] = set()
+        for trace in result.traces:
+            for address in trace.addresses:
+                pairs.add((trace.source, address))
+        before = self.prober.probes_sent
+        for vp_name, address in sorted(pairs):
+            ping = self.prober.ping(self._vp_by_name[vp_name], address)
+            if address not in result.pings or ping.responded:
+                result.pings[address] = ping
+            result.inventory.observe_ping(ping)
+            result.rtla.add_ping(ping)
+        result.probes_sent += self.prober.probes_sent - before
+
+    def extract_pairs(self, result: CampaignResult) -> None:
+        """Trace tails ``X, Y, D`` with X, Y in one suspicious AS."""
+        seen: Set[Tuple[int, int]] = set()
+        suspicious = (
+            set(self.config.suspicious_asns)
+            if self.config.suspicious_asns is not None
+            else None
+        )
+        for trace in result.traces:
+            pair = candidate_endpoints(trace)
+            if pair is None:
+                continue
+            x, y = pair
+            if (x, y) in seen:
+                continue
+            asn_x = self.asn_of(x)
+            asn_y = self.asn_of(y)
+            if asn_x is None or asn_x != asn_y:
+                continue
+            if suspicious is not None and asn_x not in suspicious:
+                continue
+            if self.config.hdn_addresses is not None and (
+                x not in self.config.hdn_addresses
+                or y not in self.config.hdn_addresses
+            ):
+                continue
+            seen.add((x, y))
+            result.pairs.append(
+                CandidatePair(
+                    vp=trace.source,
+                    ingress=x,
+                    egress=y,
+                    asn=asn_x,
+                    trace=trace,
+                )
+            )
+
+    def revelation_phase(self, result: CampaignResult) -> None:
+        """Run the DPR/BRPR recursion on every candidate pair."""
+        before = self.prober.probes_sent
+        for pair in result.pairs:
+            vp = self._vp_by_name[pair.vp]
+            revelation = reveal_tunnel(
+                self.prober,
+                vp,
+                ingress=pair.ingress,
+                egress=pair.egress,
+                max_steps=self.config.max_revelation_steps,
+                start_ttl=self.config.start_ttl,
+            )
+            result.revelations[(pair.ingress, pair.egress)] = revelation
+            for trace_address in revelation.revealed:
+                # Fingerprint newly surfaced routers too.
+                if (
+                    self.config.ping_discovered
+                    and trace_address not in result.pings
+                ):
+                    ping = self.prober.ping(vp, trace_address)
+                    result.pings[trace_address] = ping
+                    result.inventory.observe_ping(ping)
+                    result.rtla.add_ping(ping)
+        result.revelation_probes = self.prober.probes_sent - before
+
+    # ------------------------------------------------------------------
+
+    def frpla(
+        self,
+        result: CampaignResult,
+        classify: Optional[Callable[[int], str]] = None,
+    ) -> FrplaAnalyzer:
+        """Build an FRPLA analyzer over the campaign's traces."""
+        analyzer = FrplaAnalyzer(self.asn_of, classify)
+        analyzer.add_traces(result.traces)
+        return analyzer
+
+    def _team_assignment(
+        self, destinations: Sequence[int]
+    ) -> List[Tuple[Router, int]]:
+        """Pair each destination with one VP, team-style (Sec. 4)."""
+        teams = min(self.config.teams, len(self.vps))
+        assignment = []
+        ordered = sorted(destinations)
+        for index, destination in enumerate(ordered):
+            team = index % teams
+            vp = self.vps[team % len(self.vps)]
+            assignment.append((vp, destination))
+        return assignment

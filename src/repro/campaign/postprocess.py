@@ -1,0 +1,239 @@
+"""Campaign post-processing: per-AS aggregation (Tables 4 and 5).
+
+Turns a :class:`CampaignResult` into the paper's per-AS summary rows:
+candidate LERs and Ingress–Egress pairs, revelation rates, raw LSP and
+LSR counts, the Ingress–Egress graph density before/after correction
+(Table 4), and deployment characteristics — signature shares,
+technique shares, and the three tunnel-length estimators (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.itdk import TraceGraph
+from repro.campaign.orchestrator import CampaignResult
+from repro.core.frpla import FrplaAnalyzer
+from repro.core.revelation import Revelation, RevelationMethod
+from repro.stats.distributions import Distribution
+
+__all__ = ["AsRevelationSummary", "AsDeploymentRow", "Aggregator"]
+
+
+@dataclass
+class AsRevelationSummary:
+    """One Table 4 row."""
+
+    asn: int
+    candidate_lers: int  #: distinct addresses seen as X or Y
+    ie_pairs: int  #: distinct candidate (X, Y) pairs
+    revealed_pairs: int
+    raw_lsps: int  #: unique revealed hop sequences
+    lsr_ips: int  #: unique revealed addresses
+    pct_ips_also_lers: float  #: revealed IPs that also act as LERs
+    density_before: float
+    density_after: float
+
+    @property
+    def pct_revealed(self) -> float:
+        """Share of I–E pairs whose tunnel content was revealed."""
+        if self.ie_pairs == 0:
+            return 0.0
+        return self.revealed_pairs / self.ie_pairs
+
+
+@dataclass
+class AsDeploymentRow:
+    """One Table 5 row."""
+
+    asn: int
+    signature_shares: Dict[str, float] = field(default_factory=dict)
+    technique_shares: Dict[str, float] = field(default_factory=dict)
+    frpla_median: Optional[float] = None
+    rtla_median: Optional[float] = None
+    ftl_median: Optional[float] = None  #: revealed forward tunnel length
+
+
+class Aggregator:
+    """Computes per-AS summaries from a campaign result."""
+
+    def __init__(
+        self,
+        result: CampaignResult,
+        asn_of: Callable[[int], Optional[int]],
+        alias_of: Optional[Callable[[int], Optional[str]]] = None,
+    ) -> None:
+        self.result = result
+        self.asn_of = asn_of
+        self.alias_of = alias_of
+        self._pairs_by_as: Dict[int, List[Tuple[int, int]]] = {}
+        for pair in result.pairs:
+            self._pairs_by_as.setdefault(pair.asn, []).append(
+                (pair.ingress, pair.egress)
+            )
+        self._egress_addresses: Set[int] = {
+            pair.egress for pair in result.pairs
+        }
+        self._ingress_addresses: Set[int] = {
+            pair.ingress for pair in result.pairs
+        }
+
+    # ------------------------------------------------------------------
+    # Role classification (Fig. 7's Ingress / Egress / Others split)
+
+    def role_of(self, address: int) -> str:
+        """"egress", "ingress" or "other" — campaign role of an address."""
+        if address in self._egress_addresses:
+            return "egress"
+        if address in self._ingress_addresses:
+            return "ingress"
+        return "other"
+
+    def egress_addresses(self, asn: Optional[int] = None) -> Set[int]:
+        """Egress LER candidates, optionally restricted to one AS."""
+        if asn is None:
+            return set(self._egress_addresses)
+        return {
+            a for a in self._egress_addresses if self.asn_of(a) == asn
+        }
+
+    # ------------------------------------------------------------------
+    # Table 4
+
+    def asns(self) -> List[int]:
+        """ASes with at least one candidate pair."""
+        return sorted(self._pairs_by_as)
+
+    def revelation_summary(self, asn: int) -> AsRevelationSummary:
+        """Compute the Table 4 row for ``asn``."""
+        pairs = self._pairs_by_as.get(asn, [])
+        lers: Set[int] = set()
+        revealed_pairs = 0
+        lsps: Set[Tuple[int, ...]] = set()
+        lsr_ips: Set[int] = set()
+        for ingress, egress in pairs:
+            lers.add(ingress)
+            lers.add(egress)
+            revelation = self.result.revelations.get((ingress, egress))
+            if revelation is not None and revelation.success:
+                revealed_pairs += 1
+                lsps.add(tuple(revelation.revealed))
+                lsr_ips.update(revelation.revealed)
+        also_lers = sum(1 for address in lsr_ips if address in lers)
+        before, after = self._densities(asn, pairs)
+        return AsRevelationSummary(
+            asn=asn,
+            candidate_lers=len(lers),
+            ie_pairs=len(pairs),
+            revealed_pairs=revealed_pairs,
+            raw_lsps=len(lsps),
+            lsr_ips=len(lsr_ips),
+            pct_ips_also_lers=(
+                also_lers / len(lsr_ips) if lsr_ips else 0.0
+            ),
+            density_before=before,
+            density_after=after,
+        )
+
+    def _densities(
+        self, asn: int, pairs: Sequence[Tuple[int, int]]
+    ) -> Tuple[float, float]:
+        """I–E subgraph density, with and without revealed content."""
+        before = TraceGraph(self.alias_of, self.asn_of)
+        after = TraceGraph(self.alias_of, self.asn_of)
+        for ingress, egress in pairs:
+            before.add_edge_addresses(ingress, egress)
+            revelation = self.result.revelations.get((ingress, egress))
+            if revelation is not None and revelation.success:
+                after.add_path(
+                    [ingress, *revelation.revealed, egress]
+                )
+            else:
+                after.add_edge_addresses(ingress, egress)
+        return before.density(), after.density()
+
+    # ------------------------------------------------------------------
+    # Table 5
+
+    def deployment_row(
+        self, asn: int, frpla: Optional[FrplaAnalyzer] = None
+    ) -> AsDeploymentRow:
+        """Compute the Table 5 row for ``asn``."""
+        row = AsDeploymentRow(asn=asn)
+        addresses = [
+            address
+            for address in self.result.inventory.addresses()
+            if self.asn_of(address) == asn
+        ]
+        shares = self.result.inventory.brand_shares(addresses)
+        label_of = {
+            "cisco": "<255,255>",
+            "juniper": "<255,64>",
+            "junos-e": "<128,128>",
+            "brocade": "<64,64>",
+        }
+        row.signature_shares = {
+            label_of.get(brand, brand): share
+            for brand, share in shares.items()
+        }
+        row.technique_shares = self._technique_shares(asn)
+        if frpla is not None:
+            row.frpla_median = frpla.shift(asn, role="egress")
+        row.rtla_median = self.result.rtla.median_tunnel_length(
+            asn_of=self.asn_of, asn=asn
+        )
+        lengths = [
+            revelation.tunnel_length
+            for (ingress, _), revelation in self.result.revelations.items()
+            if revelation.success and self.asn_of(ingress) == asn
+        ]
+        if lengths:
+            row.ftl_median = Distribution(lengths).median
+        return row
+
+    def _technique_shares(self, asn: int) -> Dict[str, float]:
+        counts: Dict[str, int] = {}
+        total = 0
+        for ingress, egress in self._pairs_by_as.get(asn, []):
+            revelation = self.result.revelations.get((ingress, egress))
+            if revelation is None or not revelation.success:
+                continue
+            total += 1
+            label = revelation.method.value
+            counts[label] = counts.get(label, 0) + 1
+        if total == 0:
+            return {}
+        return {label: count / total for label, count in counts.items()}
+
+    # ------------------------------------------------------------------
+    # Distributions feeding Figs. 5 and 9b
+
+    def ftl_distribution(
+        self, methods: Optional[Set[RevelationMethod]] = None
+    ) -> Distribution:
+        """Forward tunnel lengths over revealed tunnels (Fig. 5)."""
+        lengths = []
+        for revelation in self.result.revelations.values():
+            if not revelation.success:
+                continue
+            if methods is not None and revelation.method not in methods:
+                continue
+            lengths.append(revelation.tunnel_length)
+        return Distribution(lengths)
+
+    def tunnel_asymmetry(self) -> Distribution:
+        """RTLA return length minus revealed forward length (Fig. 9b)."""
+        by_egress: Dict[int, Revelation] = {}
+        for (_, egress), revelation in self.result.revelations.items():
+            if revelation.success:
+                by_egress[egress] = revelation
+        deltas = []
+        for estimate in self.result.rtla.estimates():
+            revelation = by_egress.get(estimate.address)
+            if revelation is None:
+                continue
+            deltas.append(
+                estimate.tunnel_length - revelation.tunnel_length
+            )
+        return Distribution(deltas)

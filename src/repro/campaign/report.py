@@ -1,0 +1,124 @@
+"""Campaign report generation.
+
+Renders a complete, self-describing markdown report for one campaign:
+probing volumes and duration estimate, per-AS revelation and
+deployment tables, technique shares, tunnel-length statistics, and the
+FRPLA/RTLA summaries — everything an operator or researcher would want
+from a run, in one artefact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.campaign.orchestrator import CampaignResult
+from repro.campaign.postprocess import Aggregator
+from repro.core.frpla import FrplaAnalyzer
+from repro.core.revelation import RevelationMethod
+from repro.experiments.common import format_table
+from repro.stats.distributions import Distribution
+
+__all__ = ["render_report"]
+
+
+def _method_counts(result: CampaignResult) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for revelation in result.revelations.values():
+        label = revelation.method.value
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def render_report(
+    result: CampaignResult,
+    aggregator: Aggregator,
+    frpla: Optional[FrplaAnalyzer] = None,
+    as_names: Optional[Dict[int, str]] = None,
+    title: str = "Invisible MPLS tunnel campaign report",
+) -> str:
+    """Render the markdown report for ``result``."""
+    names = as_names or {}
+    lines: List[str] = [f"# {title}", ""]
+
+    # ------------------------------------------------------------------
+    lines.append("## Campaign volume")
+    lines.append("")
+    revealed = result.successful_revelations()
+    duration = result.duration_estimate_seconds()
+    volume_rows = [
+        ("traceroutes", len(result.traces)),
+        ("addresses pinged", len(result.pings)),
+        ("candidate I-E pairs", len(result.pairs)),
+        ("tunnels revealed", len(revealed)),
+        ("probes (trace+ping)", result.probes_sent),
+        ("probes (revelation)", result.revelation_probes),
+        (
+            "est. duration @25pps x5 teams",
+            f"{duration / 3600:.1f} h",
+        ),
+    ]
+    lines.append(format_table(["metric", "value"], volume_rows))
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    lines.append("## Revelation methods")
+    lines.append("")
+    counts = _method_counts(result)
+    method_rows = [
+        (method.value, counts.get(method.value, 0))
+        for method in RevelationMethod
+    ]
+    lines.append(format_table(["method", "pairs"], method_rows))
+    lines.append("")
+
+    if revealed:
+        lengths = Distribution(r.tunnel_length for r in revealed)
+        lines.append("## Revealed tunnel lengths")
+        lines.append("")
+        lines.append(
+            format_table(
+                ["stat", "value"],
+                [
+                    ("tunnels", len(lengths)),
+                    ("median LSRs", f"{lengths.median:g}"),
+                    ("mean LSRs", f"{lengths.mean:.2f}"),
+                    ("max LSRs", f"{lengths.max:g}"),
+                ],
+            )
+        )
+        lines.append("")
+
+    # ------------------------------------------------------------------
+    lines.append("## Per-AS summary")
+    lines.append("")
+    as_rows = []
+    for asn in aggregator.asns():
+        summary = aggregator.revelation_summary(asn)
+        row = aggregator.deployment_row(asn, frpla=frpla)
+        label = (
+            f"{names[asn]} ({asn})" if asn in names else f"AS{asn}"
+        )
+        as_rows.append(
+            (
+                label,
+                summary.ie_pairs,
+                f"{summary.pct_revealed:.0%}",
+                summary.lsr_ips,
+                f"{summary.density_before:.3f}",
+                f"{summary.density_after:.3f}",
+                "-" if row.frpla_median is None else f"{row.frpla_median:g}",
+                "-" if row.rtla_median is None else f"{row.rtla_median:g}",
+                "-" if row.ftl_median is None else f"{row.ftl_median:g}",
+            )
+        )
+    lines.append(
+        format_table(
+            [
+                "AS", "pairs", "%rev", "LSR IPs",
+                "dens.before", "dens.after", "FRPLA", "RTLA", "FTL",
+            ],
+            as_rows,
+        )
+    )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""HDN-driven target selection (Sec. 4).
+
+The campaign does not probe blindly: it starts from an ITDK-like
+router graph, tags High Degree Nodes (HDNs — degree ≥ threshold, 128
+in the paper, lower at simulation scale), and aims at the *neighbours*
+(set A) and *neighbours of neighbours* (set B) of HDNs.  Tracing
+toward A ∪ B makes probes transit the suspicious AS and terminate just
+beyond it, producing the ``X, Y, D`` tails the revelation keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.itdk import TraceGraph
+
+__all__ = ["TargetSelection", "select_targets", "split_among_teams"]
+
+
+@dataclass
+class TargetSelection:
+    """Result of HDN-driven target selection."""
+
+    threshold: int
+    hdns: List[str]  #: HDN node identifiers
+    set_a: Set[str] = field(default_factory=set)  #: HDN neighbours
+    set_b: Set[str] = field(default_factory=set)  #: their neighbours
+    destinations: List[int] = field(default_factory=list)  #: probe targets
+    #: Addresses belonging to HDN nodes (the I/E candidate filter).
+    hdn_addresses: Set[int] = field(default_factory=set)
+
+    @property
+    def target_nodes(self) -> Set[str]:
+        """A ∪ B."""
+        return self.set_a | self.set_b
+
+
+def select_targets(
+    graph: TraceGraph,
+    threshold: int,
+    exclude_asns: Optional[Set[int]] = None,
+) -> TargetSelection:
+    """Compute HDNs, sets A and B, and the destination address list.
+
+    ``exclude_asns`` drops target nodes in given ASes (e.g. the HDN's
+    own AS when one wants strictly external destinations).  One
+    representative address per target node is returned, sorted for
+    determinism.
+    """
+    hdns = graph.high_degree_nodes(threshold)
+    selection = TargetSelection(threshold=threshold, hdns=hdns)
+    hdn_set = set(hdns)
+    for hdn in hdns:
+        selection.hdn_addresses.update(graph.addresses_of(hdn))
+        for neighbor in graph.neighbors(hdn):
+            if neighbor not in hdn_set:
+                selection.set_a.add(neighbor)
+    for node in list(selection.set_a):
+        for neighbor in graph.neighbors(node):
+            if neighbor not in hdn_set and neighbor not in selection.set_a:
+                selection.set_b.add(neighbor)
+    destinations: Set[int] = set()
+    for node in selection.target_nodes:
+        if exclude_asns and graph.asn_of_node(node) in exclude_asns:
+            continue
+        addresses = graph.addresses_of(node)
+        if addresses:
+            destinations.add(min(addresses))
+    selection.destinations = sorted(destinations)
+    return selection
+
+
+def split_among_teams(
+    destinations: Sequence[int], teams: int
+) -> List[List[int]]:
+    """Partition destinations across VP teams (round robin, Sec. 4).
+
+    The paper keeps each neighbourhood within one team; round-robin on
+    the sorted list keeps partitions deterministic and balanced, which
+    is the property the analyses rely on.
+    """
+    if teams < 1:
+        raise ValueError("need at least one team")
+    buckets: List[List[int]] = [[] for _ in range(teams)]
+    for index, destination in enumerate(sorted(destinations)):
+        buckets[index % teams].append(destination)
+    return buckets

@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+``repro`` exposes the library's main flows without writing Python:
+
+* ``repro emulate <scenario>`` — Fig. 4-style transcripts from the
+  emulated testbed;
+* ``repro campaign`` — the full synthetic-Internet campaign with the
+  per-AS summary tables (optionally saving the dataset as JSON);
+* ``repro experiment <id>`` — regenerate one of the paper's tables or
+  figures (``fig01`` … ``fig11``, ``table1`` … ``table6``);
+* ``repro list`` — available experiment identifiers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    fig01_degree,
+    fig04_gns3,
+    fig05_ftl,
+    fig06_rtt,
+    fig07_rfa,
+    fig08_te_er,
+    fig09_rtla,
+    fig10_degree,
+    fig11_pathlen,
+    graph_summary,
+    table1_signatures,
+    table2_visibility,
+    table3_crossval,
+    table4_per_as,
+    table5_deployment,
+    table6_applicability,
+)
+from repro.experiments.common import ContextConfig, campaign_context
+from repro.synth.gns3 import SCENARIOS, build_gns3
+
+__all__ = ["EXPERIMENTS", "main"]
+
+#: Experiment id -> module with a ``run()`` returning ``.text``.
+EXPERIMENTS: Dict[str, object] = {
+    "fig01": fig01_degree,
+    "fig04": fig04_gns3,
+    "fig05": fig05_ftl,
+    "fig06": fig06_rtt,
+    "fig07": fig07_rfa,
+    "fig08": fig08_te_er,
+    "fig09": fig09_rtla,
+    "fig10": fig10_degree,
+    "fig11": fig11_pathlen,
+    "table1": table1_signatures,
+    "table2": table2_visibility,
+    "table3": table3_crossval,
+    "table4": table4_per_as,
+    "table5": table5_deployment,
+    "table6": table6_applicability,
+    "graphs": graph_summary,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Through the Wormhole: Tracking Invisible "
+            "MPLS Tunnels' (IMC 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    emulate = sub.add_parser(
+        "emulate", help="traceroute the Fig. 2 testbed"
+    )
+    emulate.add_argument("scenario", choices=SCENARIOS)
+    emulate.add_argument(
+        "--target", default="CE2.left",
+        help="named target, e.g. CE2.left or PE2.left",
+    )
+
+    campaign = sub.add_parser(
+        "campaign", help="run the synthetic-Internet campaign"
+    )
+    campaign.add_argument("--scale", type=float, default=1.0)
+    campaign.add_argument("--seed", type=int, default=2017)
+    campaign.add_argument("--vantage-points", type=int, default=8)
+    campaign.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="write the campaign dataset as JSON",
+    )
+    campaign.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="write a markdown campaign report",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one table/figure"
+    )
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+
+    configs = sub.add_parser(
+        "configs", help="dump IOS-style configs for a testbed scenario"
+    )
+    configs.add_argument("scenario", choices=SCENARIOS)
+    configs.add_argument(
+        "--router", default=None, help="only this router's config"
+    )
+
+    export = sub.add_parser(
+        "export", help="write every figure's data series as CSV"
+    )
+    export.add_argument("directory")
+
+    sub.add_parser("list", help="list experiment identifiers")
+    return parser
+
+
+def _cmd_emulate(args: argparse.Namespace) -> int:
+    testbed = build_gns3(args.scenario)
+    trace = testbed.traceroute(args.target)
+    print(testbed.render(trace))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    context = campaign_context(
+        ContextConfig(
+            scale=args.scale,
+            seed=args.seed,
+            vantage_points=args.vantage_points,
+        )
+    )
+    result = context.result
+    print(
+        f"{context.internet.network}, {len(context.internet.vps)} VPs; "
+        f"{len(result.traces)} traces, {len(result.pairs)} candidate "
+        f"pairs, {len(result.successful_revelations())} tunnels revealed"
+    )
+    print()
+    print(table4_per_as.run(context.config).text)
+    print()
+    print(table5_deployment.run(context.config).text)
+    if args.save:
+        from repro.probing.dataset import save_dataset
+
+        save_dataset(
+            args.save,
+            result.traces,
+            pings=result.pings,
+            revelations=result.revelations,
+            metadata={"seed": args.seed, "scale": args.scale},
+        )
+        print(f"\ndataset written to {args.save}")
+    if args.report:
+        from pathlib import Path
+
+        from repro.campaign.report import render_report
+
+        names = {
+            asn: profile.name
+            for asn, profile in context.internet.profiles.items()
+        }
+        Path(args.report).write_text(
+            render_report(
+                result,
+                context.aggregator,
+                frpla=context.frpla,
+                as_names=names,
+            )
+        )
+        print(f"report written to {args.report}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = EXPERIMENTS[args.id]
+    print(module.run().text)
+    return 0
+
+
+def _cmd_configs(args: argparse.Namespace) -> int:
+    from repro.synth.ios_config import network_configs, router_config
+
+    testbed = build_gns3(args.scenario)
+    if args.router is not None:
+        print(router_config(testbed.network.router(args.router)))
+        return 0
+    for name, text in network_configs(testbed.network).items():
+        print(f"### {name}")
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import export_all_figures
+
+    written = export_all_figures(args.directory)
+    for path in written:
+        print(path)
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for identifier in sorted(EXPERIMENTS):
+        module = EXPERIMENTS[identifier]
+        summary = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{identifier:8s} {summary}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers: Dict[str, Callable[[argparse.Namespace], int]] = {
+        "emulate": _cmd_emulate,
+        "campaign": _cmd_campaign,
+        "experiment": _cmd_experiment,
+        "configs": _cmd_configs,
+        "export": _cmd_export,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

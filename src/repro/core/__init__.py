@@ -1,0 +1,58 @@
+"""The paper's contribution: the four techniques and their pipeline."""
+
+from repro.core.brpr import BrprResult, backward_recursive_revelation
+from repro.core.classify import (
+    Applicability,
+    LspVisibility,
+    VisibilityExpectation,
+    expected_visibility,
+    technique_applicability,
+)
+from repro.core.dpr import DprResult, direct_path_revelation
+from repro.core.frpla import FrplaAnalyzer, RfaSample, rfa_of_hop, rfa_samples
+from repro.core.revelation import (
+    Revelation,
+    RevelationMethod,
+    TunnelAwareTraceroute,
+    candidate_endpoints,
+    reveal_tunnel,
+)
+from repro.core.rtla import RtlaAnalyzer, RtlaEstimate, rtla_gap
+from repro.core.taxonomy import TunnelClass, TunnelSegment, classify_trace
+from repro.core.signatures import (
+    Signature,
+    SignatureInventory,
+    infer_initial_ttl,
+    return_path_length,
+)
+
+__all__ = [
+    "Applicability",
+    "BrprResult",
+    "DprResult",
+    "FrplaAnalyzer",
+    "LspVisibility",
+    "Revelation",
+    "RevelationMethod",
+    "RfaSample",
+    "RtlaAnalyzer",
+    "RtlaEstimate",
+    "Signature",
+    "SignatureInventory",
+    "TunnelAwareTraceroute",
+    "TunnelClass",
+    "TunnelSegment",
+    "VisibilityExpectation",
+    "backward_recursive_revelation",
+    "candidate_endpoints",
+    "classify_trace",
+    "direct_path_revelation",
+    "expected_visibility",
+    "infer_initial_ttl",
+    "return_path_length",
+    "reveal_tunnel",
+    "rfa_of_hop",
+    "rfa_samples",
+    "rtla_gap",
+    "technique_applicability",
+]

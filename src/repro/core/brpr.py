@@ -1,0 +1,122 @@
+"""BRPR — Backward Recursive Path Revelation (Sec. 3.2).
+
+With LDP announcing *all* internal prefixes (the Cisco default), even
+traces toward internal addresses ride LSPs — but PHP makes the LSP
+toward each internal prefix end one hop early, exposing the
+penultimate router.  Tracing the egress LER's incoming interface thus
+reveals exactly one new hop (the last LSR); tracing *that* hop reveals
+the one before it, and so on backwards until the ingress LER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.router import Router
+from repro.probing.prober import Prober, Trace
+
+__all__ = ["BrprStep", "BrprResult", "backward_recursive_revelation"]
+
+
+@dataclass
+class BrprStep:
+    """One recursion step: a trace toward the latest revealed hop."""
+
+    target: int
+    trace: Trace
+    revealed: Optional[int]  #: the new hop this step exposed, if any
+    labels_seen: bool
+
+
+@dataclass
+class BrprResult:
+    """Outcome of a full BRPR recursion between a candidate LER pair."""
+
+    ingress: int
+    egress: int
+    steps: List[BrprStep] = field(default_factory=list)
+    #: Hidden hops in forward order (ingress side first).
+    revealed: List[int] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """True when at least one hop was revealed.
+
+        Per-step label checks already happened: a hop only counts as
+        revealed when it answered without a label.  Labels elsewhere
+        in a step's trace (the explicit-tunnel cross-validation) do
+        not invalidate the recursion.
+        """
+        return bool(self.revealed)
+
+    @property
+    def probes_used(self) -> int:
+        """Total probes spent across the recursion."""
+        return sum(len(step.trace.hops) for step in self.steps)
+
+
+def _new_hop_before(
+    trace: Trace, ingress: int, target: int, exclude: set
+) -> Optional[int]:
+    """The revealed hop immediately before ``target``, if usable.
+
+    BRPR's criterion (Sec. 3.3) only constrains the *last* hop of each
+    recursion trace: it must be a fresh address answering without an
+    MPLS label.  Earlier hops may be labelled (the cross-validation on
+    explicit tunnels) or absent (the invisible case).
+    """
+    addresses = trace.addresses
+    if (
+        not trace.destination_reached
+        or ingress not in addresses
+        or target not in addresses
+    ):
+        return None
+    start = addresses.index(ingress)
+    end = addresses.index(target)
+    if end <= start + 1:
+        return None  # nothing between the ingress and the target
+    candidate = addresses[end - 1]
+    if candidate in exclude:
+        return None
+    hop = trace.hop_of(candidate)
+    if hop is None or hop.has_labels:
+        return None
+    return candidate
+
+
+def backward_recursive_revelation(
+    prober: Prober,
+    vantage_point: Router,
+    ingress: int,
+    egress: int,
+    max_steps: int = 16,
+    start_ttl: int = 1,
+) -> BrprResult:
+    """Peel an invisible tunnel one LSR at a time, egress first.
+
+    The recursion targets the egress, then each newly revealed hop,
+    and stops when a trace reveals nothing new, stops passing through
+    the ingress, or ``max_steps`` is reached.
+    """
+    result = BrprResult(ingress=ingress, egress=egress)
+    exclude = {ingress, egress}
+    target = egress
+    for _ in range(max_steps):
+        trace = prober.traceroute(vantage_point, target, start_ttl=start_ttl)
+        new_hop = _new_hop_before(trace, ingress, target, exclude)
+        result.steps.append(
+            BrprStep(
+                target=target,
+                trace=trace,
+                revealed=new_hop,
+                labels_seen=trace.contains_labels(),
+            )
+        )
+        if new_hop is None:
+            break
+        result.revealed.insert(0, new_hop)
+        exclude.add(new_hop)
+        target = new_hop
+    return result

@@ -1,0 +1,148 @@
+"""Configuration → visibility/technique matrices (Tables 2 and 6).
+
+Table 2 predicts, for each basic MPLS configuration, what a traceroute
+observes (explicit LSP, invisible LSP, label-less revelations) and
+which length-analysis signals appear (the FRPLA *shift*, the RTLA
+*gap*).  Table 6 condenses the per-vendor applicability of the four
+techniques.  Encoding them as functions lets the test-suite sweep the
+whole grid against the emulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+from repro.net.vendors import LdpPolicy
+
+__all__ = [
+    "LspVisibility",
+    "VisibilityExpectation",
+    "expected_visibility",
+    "Applicability",
+    "technique_applicability",
+]
+
+
+class LspVisibility(Enum):
+    """What traceroute shows for the tunnel (Table 2 cells)."""
+
+    #: Labels quoted hop by hop — the tunnel is explicit.
+    EXPLICIT = "explicit-lsp"
+    #: Nothing between the LERs — the tunnel is invisible.
+    INVISIBLE = "invisible-lsp"
+    #: Internal target + all-prefixes LDP: PHP exposes the last hop,
+    #: label-less — BRPR territory.
+    LAST_HOP_NO_LABEL = "last-hop-without-label"
+    #: Internal target + loopback-only LDP: a plain IGP route without
+    #: labels — DPR territory.
+    ROUTE_NO_LABEL = "route-without-labels"
+
+
+@dataclass(frozen=True)
+class VisibilityExpectation:
+    """One Table 2 cell."""
+
+    visibility: LspVisibility
+    frpla_shift: bool  #: return paths longer than forward ones
+    rtla_gap: bool  #: TE/echo-reply return-length gap present
+    revelation: str  #: "dpr", "brpr", or "none"
+
+
+def expected_visibility(
+    ldp_policy: LdpPolicy,
+    target_internal: bool,
+    ttl_propagate: bool,
+    signature: Tuple[int, int] = (255, 255),
+) -> VisibilityExpectation:
+    """Predict traceroute behaviour for a basic MPLS configuration.
+
+    Args:
+        ldp_policy: the AS-wide LDP advertising policy.
+        target_internal: True when the traceroute destination is an
+            internal (non-loopback) prefix of the MPLS AS, False for a
+            destination beyond it.
+        ttl_propagate: the LER's TTL propagation setting.
+        signature: the Egress LER's TTL pair-signature; the RTLA gap
+            needs ``(255, 64)``.
+
+    Assumes PHP (the Table 2 premise); UHP has its own row in the
+    emulation tests.
+    """
+    all_prefixes = ldp_policy is LdpPolicy.ALL_PREFIXES
+    revelation = "brpr" if all_prefixes else "dpr"
+    if target_internal:
+        if all_prefixes:
+            visibility = LspVisibility.LAST_HOP_NO_LABEL
+        else:
+            visibility = LspVisibility.ROUTE_NO_LABEL
+    else:
+        visibility = (
+            LspVisibility.EXPLICIT
+            if ttl_propagate
+            else LspVisibility.INVISIBLE
+        )
+    if ttl_propagate:
+        # Explicit LSPs: tunnel hops appear in the forward path too,
+        # so no shift and no gap.
+        return VisibilityExpectation(
+            visibility=visibility,
+            frpla_shift=False,
+            rtla_gap=False,
+            revelation=revelation,
+        )
+    return VisibilityExpectation(
+        visibility=visibility,
+        frpla_shift=True,
+        rtla_gap=signature == (255, 64),
+        revelation=revelation,
+    )
+
+
+@dataclass(frozen=True)
+class Applicability:
+    """One Table 6 row: which techniques see a vendor's default config.
+
+    Values are ``True`` (works), ``False`` (does not apply), or
+    ``"partial"`` (the paper's parenthesised check marks: works in
+    favourable sub-cases).
+    """
+
+    ldp: LdpPolicy
+    popping: str
+    frpla: object
+    rtla: object
+    dpr: object
+    brpr: object
+
+
+#: Table 6 of the paper.
+_TABLE6: Dict[str, Applicability] = {
+    "cisco": Applicability(
+        ldp=LdpPolicy.ALL_PREFIXES,
+        popping="php",
+        frpla=True,
+        rtla=False,
+        dpr=False,
+        brpr=True,
+    ),
+    "juniper": Applicability(
+        ldp=LdpPolicy.LOOPBACK_ONLY,
+        popping="php",
+        frpla="partial",
+        rtla=True,
+        dpr=True,
+        brpr="partial",
+    ),
+}
+
+
+def technique_applicability(brand: str) -> Applicability:
+    """Table 6 row for ``brand`` (KeyError for other vendors)."""
+    try:
+        return _TABLE6[brand]
+    except KeyError:
+        raise KeyError(
+            f"Table 6 covers {sorted(_TABLE6)}, not {brand!r}"
+        ) from None

@@ -1,0 +1,84 @@
+"""DPR — Direct Path Revelation (Sec. 3.2).
+
+Inside an MPLS network, packets toward internal prefixes that are
+*not* announced into LDP (everything but loopbacks under the Juniper
+default, or under Cisco LDP prefix filters) follow explicit IGP routes
+without labels.  Tracing the egress LER's incoming interface address —
+revealed by PHP in the original trace — therefore exposes the entire
+hidden LSP in a single extra traceroute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.router import Router
+from repro.probing.prober import Prober, Trace
+
+__all__ = ["DprResult", "direct_path_revelation"]
+
+
+@dataclass
+class DprResult:
+    """Outcome of one DPR attempt between a candidate LER pair."""
+
+    ingress: int  #: candidate Ingress LER address (X)
+    egress: int  #: candidate Egress LER address (Y, the trace target)
+    trace: Trace  #: the revelation trace toward the egress
+    revealed: List[int] = field(default_factory=list)  #: hidden hops, in order
+    through_ingress: bool = False  #: did the trace pass through X?
+    labels_seen: bool = False  #: MPLS labels in the revelation trace
+
+    @property
+    def success(self) -> bool:
+        """DPR succeeded: new unlabeled hops appeared between X and Y."""
+        return (
+            self.through_ingress
+            and bool(self.revealed)
+            and not self.labels_seen
+            and self.trace.destination_reached
+        )
+
+
+def direct_path_revelation(
+    prober: Prober,
+    vantage_point: Router,
+    ingress: int,
+    egress: int,
+    known: Optional[List[int]] = None,
+    start_ttl: int = 1,
+) -> DprResult:
+    """Run one DPR probe: traceroute the egress address directly.
+
+    ``known`` lists addresses already attributed to the path (they do
+    not count as revelations).  The result's ``revealed`` holds the new
+    addresses strictly between the ingress and the egress, in forward
+    order.
+    """
+    trace = prober.traceroute(vantage_point, egress, start_ttl=start_ttl)
+    result = DprResult(ingress=ingress, egress=egress, trace=trace)
+    addresses = trace.addresses
+    if ingress not in addresses:
+        return result
+    result.through_ingress = True
+    if not trace.destination_reached or egress not in addresses:
+        return result
+    start = addresses.index(ingress)
+    end = addresses.index(egress)
+    if end <= start:
+        return result
+    # Only labels *inside* the candidate tunnel disqualify DPR; other
+    # ASes on the way may legitimately expose explicit tunnels.
+    hops = trace.responsive_hops
+    result.labels_seen = any(
+        hop.has_labels for hop in hops[start : end + 1]
+    )
+    exclude = set(known or ())
+    exclude.update((ingress, egress))
+    result.revealed = [
+        address
+        for address in addresses[start + 1 : end]
+        if address not in exclude
+    ]
+    return result

@@ -1,0 +1,224 @@
+"""Combined revelation pipeline (Sec. 4) and tunnel-aware traceroute.
+
+The measurement campaign looks at the last three hops ``X, Y, D`` of
+every trace: ``X`` and ``Y`` are candidate endpoints of an invisible
+tunnel.  A second trace targeting ``Y`` either reveals hidden hops in
+one shot (DPR), or exposes one new hop whose recursive probing peels
+the tunnel backwards (BRPR).  The classification follows Table 3:
+
+* ``DPR`` — all hidden hops appeared in a single revelation trace;
+* ``BRPR`` — hops appeared strictly one at a time over the recursion;
+* ``DPR_OR_BRPR`` — a single-LSR tunnel: the two are indistinguishable;
+* ``HYBRID`` — part revealed in one shot, part recursively;
+* ``NONE`` — nothing revealed (technique failure or no tunnel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.core.frpla import rfa_of_hop
+from repro.net.router import Router
+from repro.probing.prober import Prober, Trace
+
+__all__ = [
+    "RevelationMethod",
+    "Revelation",
+    "reveal_tunnel",
+    "candidate_endpoints",
+    "TunnelAwareTraceroute",
+]
+
+
+class RevelationMethod(Enum):
+    """How a tunnel's content was (or wasn't) revealed."""
+
+    DPR = "dpr"
+    BRPR = "brpr"
+    DPR_OR_BRPR = "dpr-or-brpr"
+    HYBRID = "hybrid"
+    NONE = "none"
+
+
+@dataclass
+class Revelation:
+    """Result of the combined revelation process for one X, Y pair."""
+
+    ingress: int  #: X — candidate Ingress LER address
+    egress: int  #: Y — candidate Egress LER address
+    revealed: List[int] = field(default_factory=list)  #: forward order
+    method: RevelationMethod = RevelationMethod.NONE
+    traces_used: int = 0
+    probes_used: int = 0
+    #: Number of new hops revealed by each successive trace.
+    step_reveals: List[int] = field(default_factory=list)
+    labels_seen: bool = False
+
+    @property
+    def success(self) -> bool:
+        """True when at least one hidden hop was exposed."""
+        return bool(self.revealed)
+
+    @property
+    def tunnel_length(self) -> int:
+        """Revealed LSR count (the paper's LSP content size)."""
+        return len(self.revealed)
+
+
+def candidate_endpoints(trace: Trace) -> Optional[Tuple[int, int]]:
+    """The ``X, Y`` pair from a trace ending ``..., X, Y, D``.
+
+    Requires the trace to have reached its destination with at least
+    three responding hops; returns None otherwise.
+    """
+    if not trace.destination_reached:
+        return None
+    tail = trace.last_responsive(3)
+    if len(tail) < 3:
+        return None
+    x, y, d = tail
+    if d.address != trace.dst:
+        return None
+    # Consecutive hop positions — a gap would hide a responding router
+    # between the candidates.
+    if y.probe_ttl != x.probe_ttl + 1 or d.probe_ttl != y.probe_ttl + 1:
+        return None
+    return (x.address, y.address)
+
+
+def _fresh_between(
+    trace: Trace, ingress: int, target: int, exclude: set
+) -> Optional[List[int]]:
+    """New addresses strictly between ``ingress`` and ``target``.
+
+    None signals an unusable trace (target unreached or ingress
+    bypassed) as opposed to an empty revelation.
+    """
+    addresses = trace.addresses
+    if (
+        not trace.destination_reached
+        or ingress not in addresses
+        or target not in addresses
+    ):
+        return None
+    start = addresses.index(ingress)
+    end = addresses.index(target)
+    if end <= start:
+        return None
+    return [
+        address
+        for address in addresses[start + 1 : end]
+        if address not in exclude
+    ]
+
+
+def reveal_tunnel(
+    prober: Prober,
+    vantage_point: Router,
+    ingress: int,
+    egress: int,
+    max_steps: int = 16,
+    start_ttl: int = 1,
+) -> Revelation:
+    """Run the Sec. 4 revelation recursion on one candidate pair.
+
+    The first trace targets the egress; every newly revealed hop
+    closest to the ingress becomes the next target, until a trace adds
+    nothing or stops passing through the ingress.
+    """
+    revelation = Revelation(ingress=ingress, egress=egress)
+    exclude = {ingress, egress}
+    target = egress
+    for _ in range(max_steps):
+        trace = prober.traceroute(
+            vantage_point, target, start_ttl=start_ttl
+        )
+        revelation.traces_used += 1
+        revelation.probes_used += len(trace.hops)
+        revelation.labels_seen |= trace.contains_labels()
+        fresh = _fresh_between(trace, ingress, target, exclude)
+        if not fresh:
+            break
+        revelation.step_reveals.append(len(fresh))
+        # Revealed hops sit between the ingress and the previous
+        # frontier: prepend in forward order.
+        revelation.revealed[:0] = fresh
+        exclude.update(fresh)
+        target = fresh[0]
+    revelation.method = _classify(revelation)
+    return revelation
+
+
+def _classify(revelation: Revelation) -> RevelationMethod:
+    reveals = revelation.step_reveals
+    total = sum(reveals)
+    if total == 0:
+        return RevelationMethod.NONE
+    if total == 1:
+        return RevelationMethod.DPR_OR_BRPR
+    multi_steps = sum(1 for count in reveals if count >= 2)
+    single_steps = sum(1 for count in reveals if count == 1)
+    if multi_steps and single_steps:
+        return RevelationMethod.HYBRID
+    if multi_steps:
+        return RevelationMethod.DPR
+    return RevelationMethod.BRPR
+
+
+class TunnelAwareTraceroute:
+    """The conclusion's envisioned tool (Table 6).
+
+    Runs a normal Paris traceroute, uses the FRPLA return/forward
+    asymmetry jump between consecutive hops as an invisible-tunnel
+    trigger, and applies the revelation recursion on the fly, splicing
+    revealed hops into the reported path.
+    """
+
+    def __init__(
+        self,
+        prober: Prober,
+        trigger_threshold: int = 2,
+        start_ttl: int = 1,
+    ) -> None:
+        self.prober = prober
+        #: Minimum RFA jump between consecutive hops that triggers
+        #: revelation (tunnels shorter than this stay undetected).
+        self.trigger_threshold = trigger_threshold
+        self.start_ttl = start_ttl
+
+    def trace(
+        self, vantage_point: Router, dst: int
+    ) -> Tuple[List[int], List[Revelation]]:
+        """Traceroute ``dst``; return the enriched path + revelations."""
+        base = self.prober.traceroute(
+            vantage_point, dst, start_ttl=self.start_ttl
+        )
+        hops = base.responsive_hops
+        path = [hop.address for hop in hops]
+        revelations: List[Revelation] = []
+        enriched: List[int] = []
+        previous_rfa: Optional[int] = None
+        for index, hop in enumerate(hops):
+            sample = rfa_of_hop(hop)
+            if (
+                sample is not None
+                and previous_rfa is not None
+                and index > 0
+                and sample.rfa - previous_rfa >= self.trigger_threshold
+            ):
+                revelation = reveal_tunnel(
+                    self.prober,
+                    vantage_point,
+                    ingress=hops[index - 1].address,
+                    egress=hop.address,
+                    start_ttl=self.start_ttl,
+                )
+                if revelation.success:
+                    revelations.append(revelation)
+                    enriched.extend(revelation.revealed)
+            if sample is not None:
+                previous_rfa = sample.rfa
+            enriched.append(hop.address)
+        return enriched, revelations

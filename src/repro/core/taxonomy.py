@@ -1,0 +1,148 @@
+"""MPLS tunnel taxonomy over traces (Donnet et al. 2012, Sec. 2.2).
+
+The paper's predecessor work classifies MPLS tunnels by what
+traceroute can see:
+
+* **explicit** — LSRs visible *and* flagged: ``ttl-propagate`` on and
+  RFC 4950 label quoting on;
+* **implicit** — LSRs visible but unflagged: ``ttl-propagate`` on,
+  RFC 4950 off.  Detectable through the *u-turn* signature: a
+  time-exceeded generated mid-LSP detours to the tunnel end before
+  returning, so the return/forward asymmetry of consecutive in-tunnel
+  hops *decreases by 2 per hop* toward the egress;
+* **invisible** — ``no-ttl-propagate``: nothing between the LERs
+  (this paper's subject, handled by FRPLA/RTLA/DPR/BRPR).
+
+This module finds explicit and implicit segments in traces — the
+complement of the invisible-tunnel pipeline, and the ground the 2017
+paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.frpla import rfa_of_hop
+from repro.probing.prober import Trace
+
+__all__ = ["TunnelClass", "TunnelSegment", "classify_trace"]
+
+
+class TunnelClass:
+    """String constants for the taxonomy classes."""
+
+    EXPLICIT = "explicit"
+    IMPLICIT = "implicit"
+
+
+@dataclass(frozen=True)
+class TunnelSegment:
+    """One classified tunnel segment inside a trace."""
+
+    kind: str  #: TunnelClass constant
+    #: Addresses of the LSR hops, forward order.
+    lsrs: Tuple[int, ...]
+    #: Probe TTL of the first LSR hop.
+    start_ttl: int
+
+    @property
+    def length(self) -> int:
+        """Number of visible LSR hops."""
+        return len(self.lsrs)
+
+
+def _uturn_values(trace: Trace) -> List[Optional[int]]:
+    """Per-hop return-minus-forward asymmetry (None when unusable)."""
+    values: List[Optional[int]] = []
+    for hop in trace.responsive_hops:
+        sample = rfa_of_hop(hop)
+        values.append(None if sample is None else sample.rfa)
+    return values
+
+
+def _explicit_segments(trace: Trace) -> List[TunnelSegment]:
+    segments: List[TunnelSegment] = []
+    run: List = []
+    for hop in trace.responsive_hops:
+        if hop.has_labels:
+            run.append(hop)
+        elif run:
+            segments.append(
+                TunnelSegment(
+                    kind=TunnelClass.EXPLICIT,
+                    lsrs=tuple(h.address for h in run),
+                    start_ttl=run[0].probe_ttl,
+                )
+            )
+            run = []
+    if run:
+        segments.append(
+            TunnelSegment(
+                kind=TunnelClass.EXPLICIT,
+                lsrs=tuple(h.address for h in run),
+                start_ttl=run[0].probe_ttl,
+            )
+        )
+    return segments
+
+
+def _implicit_segments(
+    trace: Trace, min_length: int
+) -> List[TunnelSegment]:
+    """Label-less runs whose u-turn decreases by 2 per hop.
+
+    A mid-LSP time-exceeded travels the remaining k hops to the egress
+    and k hops back before exiting the tunnel, so at in-tunnel hop i
+    (of n) the asymmetry exceeds the baseline by ``2 * (n - i)``:
+    consecutive in-tunnel hops differ by exactly -2.
+    """
+    hops = trace.responsive_hops
+    uturn = _uturn_values(trace)
+    segments: List[TunnelSegment] = []
+    run_start: Optional[int] = None
+    for index in range(1, len(hops)):
+        usable = (
+            uturn[index] is not None
+            and uturn[index - 1] is not None
+            and hops[index].probe_ttl == hops[index - 1].probe_ttl + 1
+            and not hops[index].has_labels
+            and not hops[index - 1].has_labels
+        )
+        step_matches = (
+            usable and uturn[index] - uturn[index - 1] == -2
+            and uturn[index - 1] > 0
+        )
+        if step_matches:
+            if run_start is None:
+                run_start = index - 1
+        elif run_start is not None:
+            segments.append(_close_implicit(hops, run_start, index))
+            run_start = None
+    if run_start is not None:
+        segments.append(_close_implicit(hops, run_start, len(hops)))
+    return [s for s in segments if s.length >= min_length]
+
+
+def _close_implicit(hops, start: int, end: int) -> TunnelSegment:
+    run = hops[start:end]
+    return TunnelSegment(
+        kind=TunnelClass.IMPLICIT,
+        lsrs=tuple(h.address for h in run),
+        start_ttl=run[0].probe_ttl,
+    )
+
+
+def classify_trace(
+    trace: Trace, min_implicit_length: int = 2
+) -> List[TunnelSegment]:
+    """All explicit and implicit tunnel segments in ``trace``.
+
+    Invisible tunnels, by definition, leave no in-trace hops to
+    classify; detecting them is the job of
+    :mod:`repro.core.frpla` / :mod:`repro.core.revelation`.
+    ``min_implicit_length`` suppresses one-hop u-turn coincidences.
+    """
+    segments = _explicit_segments(trace)
+    segments.extend(_implicit_segments(trace, min_implicit_length))
+    return sorted(segments, key=lambda s: s.start_ttl)

@@ -1,0 +1,563 @@
+"""Per-hop packet forwarding engine.
+
+This is the simulator's dataplane: it walks a packet hop by hop through
+the network, applying the exact TTL/MPLS mechanics the paper's
+techniques exploit.  The rules (derived from, and validated against,
+the per-hop return TTLs printed in Fig. 4 of the paper) are:
+
+1.  Plain IP forwarding decrements the IP-TTL at every arrival; expiry
+    triggers a ``time-exceeded`` (TE) with the vendor's initial TTL.
+2.  An ingress LER does its IP lookup (decrement) first, then pushes;
+    the LSE-TTL is the (decremented) IP-TTL under ``ttl-propagate``,
+    255 otherwise.
+3.  Every LSR — including the penultimate (last hop, LH) — decrements
+    the LSE-TTL on arrival.  LSE expiry triggers a TE quoting the label
+    stack (RFC 4950); unless it happened at the LH, the TE is first
+    carried to the end of the LSP before being routed back.
+4.  A PHP pop (at the LH) applies ``IP-TTL = min(IP-TTL, LSE-TTL)``
+    (when the LH is configured for it) and forwards *without* an IP
+    decrement; the egress then does a normal IP lookup.
+5.  A UHP pop (explicit null, at the egress) does *not* apply the min;
+    the egress then IP-forwards with a normal decrement — except when
+    the destination sits on a directly-connected subnet, where the
+    disposition stays in the MPLS path and consumes no IP-TTL (this is
+    what keeps Fig. 4d's egress invisible).
+6.  Routers never decrement locally-originated packets.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Tuple
+
+from repro.dataplane.packet import (
+    DEST_UNREACHABLE,
+    ECHO_REPLY,
+    ECHO_REQUEST,
+    TIME_EXCEEDED,
+    UDP_PROBE,
+    Packet,
+)
+from repro.mpls.config import PoppingMode
+from repro.mpls.labels import EXPLICIT_NULL, LabelAllocator, LabelStackEntry
+from repro.net.addressing import Prefix
+from repro.net.router import Router
+from repro.net.topology import Network
+from repro.routing.control import ControlPlane, Route, RouteKind, flow_choice
+
+__all__ = ["EndReason", "TransitEnd", "ProbeOutcome", "ForwardingEngine"]
+
+
+class EndReason(Enum):
+    """Why a packet stopped travelling."""
+
+    DELIVERED = "delivered"  #: reached a router owning the destination
+    IP_EXPIRED = "ip-expired"  #: IP-TTL hit zero
+    LSE_EXPIRED = "lse-expired"  #: LSE-TTL hit zero inside a tunnel
+    NO_ROUTE = "no-route"  #: lookup failed somewhere
+    LOOP = "loop"  #: hop-count guard tripped
+
+
+@dataclass
+class TransitEnd:
+    """Terminal state of one packet's journey."""
+
+    reason: EndReason
+    router: Optional[Router]  #: where the journey ended
+    prev_router: Optional[Router]  #: upstream hop (incoming interface)
+    packet: Packet  #: final packet state (TTLs as at the end)
+    path: List[Router]  #: every router traversed, origin first
+    delay_ms: float  #: accumulated one-way link delay
+    #: FEC of the LSP in which an LSE expiry occurred (None otherwise).
+    expired_fec: Optional[Prefix] = None
+    #: True when the LSE expired at the LSP's penultimate hop (the
+    #: popping router) — such TEs are routed back directly.
+    expired_at_lh: bool = False
+
+
+@dataclass
+class ProbeOutcome:
+    """What a vantage point observes for one probe.
+
+    ``reply_kind`` is None when no reply came back (silent drop, ICMP
+    disabled, or the reply itself died in transit).
+    """
+
+    probe_ttl: int
+    reply_kind: Optional[str] = None
+    responder: Optional[int] = None  #: reply source address
+    responder_router: Optional[str] = None  #: ground truth
+    reply_ttl: Optional[int] = None  #: reply IP-TTL observed at the VP
+    quoted_labels: List[Tuple[int, int]] = field(default_factory=list)
+    rtt_ms: float = 0.0
+    forward_path: List[str] = field(default_factory=list)  #: ground truth
+    return_path: List[str] = field(default_factory=list)  #: ground truth
+
+    @property
+    def responded(self) -> bool:
+        """True when any reply reached the vantage point."""
+        return self.reply_kind is not None
+
+
+class ForwardingEngine:
+    """Simulates packet journeys over a network + control plane."""
+
+    def __init__(
+        self,
+        network: Network,
+        control: Optional[ControlPlane] = None,
+        max_hops: int = 255,
+    ) -> None:
+        self.network = network
+        self.control = control or ControlPlane(network)
+        self.max_hops = max_hops
+        self.labels = LabelAllocator()
+        #: Count of packets fully simulated (probes + replies).
+        self.packets_simulated = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+
+    def send_probe(
+        self,
+        source: Router,
+        dst: int,
+        ttl: int,
+        flow_id: int = 0,
+        kind: str = ECHO_REQUEST,
+    ) -> ProbeOutcome:
+        """Emit one probe from ``source`` and report what comes back."""
+        probe = Packet(
+            src=source.loopback, dst=dst, ip_ttl=ttl, kind=kind,
+            flow_id=flow_id,
+        )
+        end = self._simulate(probe, source)
+        outcome = ProbeOutcome(
+            probe_ttl=ttl,
+            forward_path=[router.name for router in end.path],
+        )
+        reply, origin = self._build_reply(end, source)
+        if reply is None or origin is None:
+            return outcome
+        reply_end = self._simulate(reply, origin)
+        outcome.rtt_ms = end.delay_ms + reply_end.delay_ms
+        outcome.return_path = [router.name for router in reply_end.path]
+        if (
+            reply_end.reason is EndReason.DELIVERED
+            and reply_end.router is source
+        ):
+            outcome.reply_kind = reply.kind
+            outcome.responder = reply.src
+            origin_router = self.network.owner_of(reply.src)
+            outcome.responder_router = (
+                origin_router.name if origin_router else None
+            )
+            outcome.reply_ttl = reply_end.packet.ip_ttl
+            outcome.quoted_labels = list(reply.quoted_labels)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Reply construction
+
+    def _build_reply(
+        self, end: TransitEnd, source: Router
+    ) -> Tuple[Optional[Packet], Optional[Router]]:
+        """Create the ICMP reply for a finished probe, if any."""
+        router = end.router
+        probe = end.packet
+        if router is None:
+            return None, None
+        if not self._responds(router, probe):
+            return None, None
+        if end.reason is EndReason.DELIVERED:
+            if probe.kind == UDP_PROBE:
+                # Port unreachable, sourced from the *outgoing*
+                # interface toward the prober — the Mercator alias
+                # resolution signal.
+                reply = Packet(
+                    src=self._outgoing_address(router, probe.src),
+                    dst=probe.src,
+                    ip_ttl=router.initial_ttl(TIME_EXCEEDED),
+                    kind=DEST_UNREACHABLE,
+                    flow_id=probe.flow_id,
+                    probe_ttl=probe.ip_ttl,
+                )
+                return reply, router
+            if probe.kind != ECHO_REQUEST:
+                return None, None
+            reply = Packet(
+                src=probe.dst,
+                dst=probe.src,
+                ip_ttl=router.initial_ttl(ECHO_REPLY),
+                kind=ECHO_REPLY,
+                flow_id=probe.flow_id,
+                probe_ttl=probe.ip_ttl,
+            )
+            return reply, router
+        if end.reason in (EndReason.IP_EXPIRED, EndReason.LSE_EXPIRED):
+            reply_src = self._reply_source(router, end.prev_router)
+            if reply_src is None:
+                return None, None
+            reply = Packet(
+                src=reply_src,
+                dst=probe.src,
+                ip_ttl=router.initial_ttl(TIME_EXCEEDED),
+                kind=TIME_EXCEEDED,
+                flow_id=probe.flow_id,
+                probe_ttl=0,
+            )
+            if end.reason is EndReason.LSE_EXPIRED:
+                if router.mpls.rfc4950 and router.vendor.rfc4950:
+                    # Quote the stack as *received*: the top entry was
+                    # decremented to 0 on arrival, so it reads TTL=1.
+                    top = probe.stack[-1]
+                    reply.quoted_labels = [
+                        (entry.label, entry.ttl + 1)
+                        if entry is top
+                        else entry.as_tuple()
+                        for entry in probe.stack
+                    ]
+                if (
+                    not end.expired_at_lh
+                    and end.expired_fec is not None
+                    and not self.control.is_fec_egress(
+                        router, end.expired_fec
+                    )
+                ):
+                    # TE generated mid-LSP: carried to the LSP end first,
+                    # inside a fresh LSE with TTL 255.  (An expiry at the
+                    # egress itself — UHP arrival — replies directly.)
+                    label = self.labels.binding(
+                        router.name, end.expired_fec
+                    )
+                    reply.push(
+                        LabelStackEntry(label=label, ttl=255),
+                        end.expired_fec,
+                    )
+            return reply, router
+        return None, None
+
+    def _outgoing_address(self, router: Router, toward: int) -> int:
+        """Address of the interface ``router`` uses to reach ``toward``."""
+        route = self.control.resolve(router, toward)
+        next_router: Optional[Router] = None
+        if route.kind is RouteKind.ATTACHED:
+            next_router = self.network.owner_of(toward)
+        elif route.next_hops:
+            next_router = flow_choice(route.next_hops, router.name, 0)
+        if next_router is not None:
+            interface = router.interface_toward(next_router)
+            if interface is not None:
+                return interface.address
+        return router.loopback
+
+    @staticmethod
+    def _responds(router: Router, probe: Packet) -> bool:
+        """ICMP policy: silence and deterministic rate limiting.
+
+        Rate limiting is sampled per probe from a stable hash of the
+        probe identity, so repeated campaigns stay reproducible while
+        individual probes are dropped at the configured rate.
+        """
+        if not router.icmp_enabled:
+            return False
+        rate = router.icmp_response_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        digest = zlib.crc32(
+            f"{router.name}|{probe.flow_id}|{probe.ip_ttl}|"
+            f"{probe.dst}".encode("ascii")
+        )
+        return (digest / 0xFFFFFFFF) < rate
+
+    def _reply_source(
+        self, router: Router, prev: Optional[Router]
+    ) -> Optional[int]:
+        """ICMP source address: the incoming interface of ``router``."""
+        if prev is not None:
+            address = router.incoming_address_from(prev)
+            if address is not None:
+                return address
+        return router.loopback
+
+    # ------------------------------------------------------------------
+    # The per-hop walk
+
+    def _simulate(self, packet: Packet, origin: Router) -> TransitEnd:
+        """Walk ``packet`` from ``origin`` until a terminal state."""
+        self.packets_simulated += 1
+        current = origin
+        prev: Optional[Router] = None
+        path = [origin]
+        delay = 0.0
+        originating = True
+        for _ in range(self.max_hops):
+            if not originating:
+                arrival = self._process_arrival(current, prev, packet)
+                if arrival is not None:
+                    return TransitEnd(
+                        reason=arrival[0],
+                        router=current,
+                        prev_router=prev,
+                        packet=packet,
+                        path=path,
+                        delay_ms=delay,
+                        expired_fec=arrival[1],
+                        expired_at_lh=arrival[2],
+                    )
+            step = self._forwarding_step(current, packet, originating)
+            if step is None:
+                return TransitEnd(
+                    reason=EndReason.NO_ROUTE,
+                    router=current,
+                    prev_router=prev,
+                    packet=packet,
+                    path=path,
+                    delay_ms=delay,
+                )
+            next_router = step
+            link = current.interface_toward(next_router)
+            assert link is not None, (
+                f"no link {current.name} -> {next_router.name}"
+            )
+            delay += link.link.delay_ms
+            prev = current
+            current = next_router
+            path.append(current)
+            originating = False
+        return TransitEnd(
+            reason=EndReason.LOOP,
+            router=current,
+            prev_router=prev,
+            packet=packet,
+            path=path,
+            delay_ms=delay,
+        )
+
+    def _process_arrival(
+        self, router: Router, prev: Optional[Router], packet: Packet
+    ) -> Optional[Tuple[EndReason, Optional[Prefix], bool]]:
+        """TTL bookkeeping on packet arrival; non-None ends the walk."""
+        popped_here = False
+        if packet.labeled:
+            packet.top.ttl -= 1
+            if packet.top.ttl <= 0:
+                fec = packet.fec
+                at_lh = self._is_last_hop(router, packet)
+                return (EndReason.LSE_EXPIRED, fec, at_lh)
+            tunnel = packet.te_tunnel
+            if tunnel is not None and router.name == tunnel.tail:
+                # RSVP-TE tail under UHP: pop the explicit-null label.
+                packet.pop()
+                popped_here = True
+            elif packet.fec is not None and self.control.is_fec_egress(
+                router, packet.fec
+            ):
+                # UHP arrival (explicit null) — pop without the min
+                # rule; IP processing continues below.
+                packet.pop()
+                popped_here = True
+        if not packet.labeled:
+            if router.owns(packet.dst):
+                return (EndReason.DELIVERED, None, False)
+            if popped_here and (
+                self.control.resolve(router, packet.dst).kind
+                is RouteKind.ATTACHED
+            ):
+                # UHP disposition straight onto a connected subnet
+                # stays in the MPLS path: no IP decrement (this is the
+                # mechanic that keeps Fig. 4d's egress invisible).
+                return None
+            packet.ip_ttl -= 1
+            if packet.ip_ttl <= 0:
+                return (EndReason.IP_EXPIRED, None, False)
+        return None
+
+    def _is_last_hop(self, router: Router, packet: Packet) -> bool:
+        """Is ``router`` the popping hop (LH) of the packet's LSP?"""
+        tunnel = packet.te_tunnel
+        if tunnel is not None:
+            return (
+                tunnel.is_penultimate(router.name)
+                and tunnel.popping is PoppingMode.PHP
+            )
+        if packet.fec is None:
+            return False
+        route = self._fec_route(router, packet.fec)
+        if route is None or not route.next_hops:
+            return False
+        next_router = flow_choice(
+            route.next_hops, router.name, packet.flow_id
+        )
+        return (
+            self.control.is_fec_egress(next_router, packet.fec)
+            and next_router.mpls.popping is PoppingMode.PHP
+        )
+
+    def _fec_route(self, router: Router, fec: Prefix) -> Optional[Route]:
+        """Route toward the FEC prefix (the LSP follows the IGP)."""
+        route = self.control.resolve_prefix(router, fec)
+        if route.kind in (RouteKind.UNREACHABLE, RouteKind.LOCAL):
+            return None
+        return route
+
+    def _forwarding_step(
+        self, current: Router, packet: Packet, originating: bool
+    ) -> Optional[Router]:
+        """Decide the next hop; mutates the packet (push/pop/swap)."""
+        if packet.labeled:
+            return self._mpls_step(current, packet)
+        return self._ip_step(current, packet, originating)
+
+    def _mpls_step(self, current: Router, packet: Packet) -> Optional[Router]:
+        if packet.te_tunnel is not None:
+            return self._te_step(current, packet)
+        fec = packet.fec
+        if fec is None:
+            return None
+        route = self._fec_route(current, fec)
+        if route is None:
+            return None
+        if route.kind is RouteKind.ATTACHED or not route.next_hops:
+            # Shouldn't normally happen (pop precedes), but be safe:
+            # fall back to IP forwarding of the inner packet.
+            packet.pop()
+            return self._ip_step(current, packet, originating=True)
+        next_router = flow_choice(
+            route.next_hops, current.name, packet.flow_id
+        )
+        if self.control.is_fec_egress(next_router, fec):
+            if next_router.mpls.popping is PoppingMode.PHP:
+                popped = packet.pop()
+                if current.mpls.min_ttl_on_pop:
+                    packet.ip_ttl = min(packet.ip_ttl, popped.ttl)
+            else:
+                packet.top.label = EXPLICIT_NULL
+        else:
+            packet.top.label = self.labels.binding(next_router.name, fec)
+        return next_router
+
+    def _te_step(self, current: Router, packet: Packet) -> Optional[Router]:
+        """Forward along an RSVP-TE tunnel's explicit path."""
+        tunnel = packet.te_tunnel
+        next_name = tunnel.next_hop(current.name)
+        if next_name is None:
+            # Off-path (should not happen): drop the label, go IP.
+            packet.pop()
+            return self._ip_step(current, packet, originating=True)
+        next_router = self.network.router(next_name)
+        if next_name == tunnel.tail:
+            if tunnel.popping is PoppingMode.PHP:
+                popped = packet.pop()
+                if current.mpls.min_ttl_on_pop:
+                    packet.ip_ttl = min(packet.ip_ttl, popped.ttl)
+            else:
+                packet.top.label = EXPLICIT_NULL
+        else:
+            packet.top.label = self.labels.binding(
+                next_name, ("te", tunnel.name)
+            )
+        return next_router
+
+    def _ip_step(
+        self, current: Router, packet: Packet, originating: bool
+    ) -> Optional[Router]:
+        route = self.control.resolve(current, packet.dst)
+        if route.kind in (RouteKind.LOCAL, RouteKind.UNREACHABLE):
+            return None
+        if route.kind is RouteKind.ATTACHED:
+            owner = self.network.owner_of(packet.dst)
+            if owner is None or owner is current:
+                return None
+            if current.interface_toward(owner) is None:
+                return None
+            return owner
+        tunnel = self._te_entry(current, packet, route)
+        if tunnel is not None:
+            return tunnel
+        next_router = flow_choice(
+            route.next_hops, current.name, packet.flow_id
+        )
+        if (
+            route.fec is not None
+            and current.mpls.enabled
+            and not packet.labeled
+        ):
+            is_egress_next = self.control.is_fec_egress(
+                next_router, route.fec
+            )
+            fec_tail = self._fec_tail(route)
+            if is_egress_next and (
+                fec_tail is None
+                or fec_tail.mpls.popping is PoppingMode.PHP
+            ):
+                # Next hop advertised implicit null: nothing to push.
+                pass
+            else:
+                lse_ttl = (
+                    packet.ip_ttl if current.mpls.ttl_propagate else 255
+                )
+                label = self.labels.binding(next_router.name, route.fec)
+                packet.push(
+                    LabelStackEntry(label=label, ttl=lse_ttl), route.fec
+                )
+        return next_router
+
+    def _te_entry(
+        self, current: Router, packet: Packet, route: Route
+    ) -> Optional[Router]:
+        """Steer the packet onto an installed TE tunnel, if one applies.
+
+        RSVP-TE takes precedence over LDP for *transit* traffic —
+        packets whose BGP next hop is the tunnel's tail (the common
+        LDP+RSVP-TE co-deployment).  Internal-prefix traffic keeps
+        following the IGP/LDP, which is exactly why DPR/BRPR reveal
+        LDP paths but never RSVP-TE ones (Sec. 3.4).  Returns the
+        first explicit hop, or None when no tunnel matched.
+        """
+        if (
+            packet.labeled
+            or not current.mpls.enabled
+            or route.kind is not RouteKind.EXTERNAL
+            or route.egress is None
+            or route.egress is current
+        ):
+            return None
+        tunnel = self.control.te.tunnel_from(
+            current.name, route.egress.name
+        )
+        if tunnel is None:
+            return None
+        next_router = self.network.router(tunnel.path[1])
+        if (
+            tunnel.popping is PoppingMode.PHP
+            and len(tunnel.path) == 2
+        ):
+            # One-hop tunnel with implicit null: nothing to push.
+            return next_router
+        lse_ttl = packet.ip_ttl if tunnel.ttl_propagate else 255
+        label = self.labels.binding(
+            tunnel.path[1], ("te", tunnel.name)
+        )
+        tail_router = self.network.router(tunnel.tail)
+        packet.push(
+            LabelStackEntry(label=label, ttl=lse_ttl),
+            Prefix(tail_router.loopback, 32),
+        )
+        packet.te_tunnel = tunnel
+        return next_router
+
+    def _fec_tail(self, route: Route) -> Optional[Router]:
+        """The LSP tail router of an about-to-be-pushed FEC."""
+        if route.fec is None:
+            return None
+        if route.egress is not None and self.control.is_fec_egress(
+            route.egress, route.fec
+        ):
+            return route.egress
+        tails = self.control.attached_routers(route.fec)
+        return tails[0] if tails else None

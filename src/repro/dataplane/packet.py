@@ -1,0 +1,106 @@
+"""Packet model for the forwarding simulator.
+
+One :class:`Packet` models an IP datagram with an optional MPLS label
+stack.  ICMP payloads are collapsed into the packet ``kind`` plus the
+RFC 4950 extension fields (quoted label stack) — the simulator never
+needs full byte-level ICMP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.mpls.labels import LabelStackEntry
+from repro.net.addressing import Prefix, format_address
+
+__all__ = [
+    "ECHO_REQUEST",
+    "ECHO_REPLY",
+    "TIME_EXCEEDED",
+    "Packet",
+]
+
+ECHO_REQUEST = "echo-request"
+ECHO_REPLY = "echo-reply"
+TIME_EXCEEDED = "time-exceeded"
+#: UDP datagram to an unused high port (Mercator-style alias probing).
+UDP_PROBE = "udp-probe"
+#: ICMP destination-unreachable (port unreachable) answering it.
+DEST_UNREACHABLE = "dest-unreachable"
+
+_KINDS = (
+    ECHO_REQUEST, ECHO_REPLY, TIME_EXCEEDED, UDP_PROBE, DEST_UNREACHABLE,
+)
+
+
+@dataclass
+class Packet:
+    """A simulated IP packet, possibly MPLS-encapsulated.
+
+    Attributes:
+        src: source IPv4 address (int).
+        dst: destination IPv4 address (int).
+        ip_ttl: current IP-TTL.
+        kind: one of the ICMP kinds above.
+        flow_id: Paris-traceroute flow identifier — kept constant per
+            trace so ECMP decisions are stable.
+        stack: MPLS label stack, top entry last.  Empty when unlabeled.
+        fec: the FEC prefix of the top label (simulator shortcut: real
+            LSRs derive it from the label; we carry it along).
+        quoted_labels: RFC 4950 extension of a time-exceeded message —
+            the ``(label, ttl)`` pairs of the expired packet.
+        probe_ttl: for replies: the original probe's TTL (echoed in the
+            quoted IP header; used by measurement code for bookkeeping).
+        te_tunnel: when riding an RSVP-TE explicit-route LSP, the
+            :class:`~repro.mpls.rsvp.TeTunnel` steering it (simulator
+            shortcut, like ``fec``).
+    """
+
+    src: int
+    dst: int
+    ip_ttl: int
+    kind: str
+    flow_id: int = 0
+    stack: List[LabelStackEntry] = field(default_factory=list)
+    fec: Optional[Prefix] = None
+    quoted_labels: List[Tuple[int, int]] = field(default_factory=list)
+    probe_ttl: Optional[int] = None
+    te_tunnel: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown packet kind {self.kind!r}")
+        if not 0 <= self.ip_ttl <= 255:
+            raise ValueError(f"IP-TTL out of range: {self.ip_ttl}")
+
+    @property
+    def labeled(self) -> bool:
+        """True when an MPLS label stack is present."""
+        return bool(self.stack)
+
+    @property
+    def top(self) -> LabelStackEntry:
+        """Top label stack entry (IndexError when unlabeled)."""
+        return self.stack[-1]
+
+    def push(self, entry: LabelStackEntry, fec: Prefix) -> None:
+        """Push ``entry`` for ``fec`` onto the stack."""
+        entry.bottom = not self.stack
+        self.stack.append(entry)
+        self.fec = fec
+
+    def pop(self) -> LabelStackEntry:
+        """Pop the top entry; clears ``fec``/``te_tunnel`` when empty."""
+        entry = self.stack.pop()
+        if not self.stack:
+            self.fec = None
+            self.te_tunnel = None
+        return entry
+
+    def __repr__(self) -> str:
+        label = f", label={self.top.label}" if self.stack else ""
+        return (
+            f"Packet({self.kind} {format_address(self.src)}->"
+            f"{format_address(self.dst)} ttl={self.ip_ttl}{label})"
+        )

@@ -1,0 +1,1 @@
+"""Experiment modules: one per table/figure of the paper."""

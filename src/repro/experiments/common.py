@@ -1,0 +1,136 @@
+"""Shared infrastructure for the experiment (table/figure) modules.
+
+Most experiments consume the same expensive artefact — a full
+measurement campaign over the synthetic Internet — so it is built once
+per parameter set and memoised.  Each experiment module exposes a
+``run(...)`` returning a result object with structured data plus a
+``text`` rendering that mirrors the paper's table/figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from repro.campaign.orchestrator import Campaign, CampaignConfig, CampaignResult
+from repro.campaign.postprocess import Aggregator
+from repro.core.frpla import FrplaAnalyzer
+from repro.synth.internet import InternetConfig, SyntheticInternet, build_internet
+from repro.synth.profiles import paper_profiles
+
+__all__ = [
+    "ContextConfig",
+    "CampaignContext",
+    "campaign_context",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class ContextConfig:
+    """Parameters for a reusable campaign context."""
+
+    scale: float = 1.0  #: AS size multiplier (see ``paper_profiles``)
+    seed: int = 2017
+    vantage_points: int = 10
+    stubs_per_transit: int = 6
+    ttl_propagate_everywhere: bool = False  #: True = visible tunnels
+
+
+class CampaignContext:
+    """A built Internet plus a completed campaign and its analyzers."""
+
+    def __init__(self, config: ContextConfig) -> None:
+        self.config = config
+        profiles = paper_profiles(config.scale)
+        if config.ttl_propagate_everywhere:
+            profiles = [
+                type(p)(
+                    asn=p.asn, name=p.name, vendor_mix=p.vendor_mix,
+                    core_size=p.core_size, edge_size=p.edge_size,
+                    ttl_propagate_share=1.0, uhp_share=0.0,
+                    mesh_degree=p.mesh_degree,
+                    ldp_all_prefixes=p.ldp_all_prefixes,
+                )
+                for p in profiles
+            ]
+        self.internet: SyntheticInternet = build_internet(
+            InternetConfig(
+                profiles=tuple(profiles),
+                vantage_points=config.vantage_points,
+                stubs_per_transit=config.stubs_per_transit,
+                seed=config.seed,
+            )
+        )
+        self.campaign = Campaign(
+            self.internet.prober,
+            self.internet.vps,
+            self.internet.asn_of_address,
+            CampaignConfig(
+                suspicious_asns=tuple(self.internet.transit_asns)
+            ),
+        )
+        self.result: CampaignResult = self.campaign.run(
+            self.internet.campaign_targets()
+        )
+        self.aggregator = Aggregator(
+            self.result,
+            self.internet.asn_of_address,
+            alias_of=self._alias_of,
+        )
+        self.frpla: FrplaAnalyzer = self.campaign.frpla(
+            self.result, classify=self.aggregator.role_of
+        )
+
+    # ------------------------------------------------------------------
+
+    def _alias_of(self, address: int) -> Optional[str]:
+        router = self.internet.router_of_address(address)
+        return None if router is None else router.name
+
+    @property
+    def alias_of(self):
+        """Ground-truth alias resolver (address → router name)."""
+        return self._alias_of
+
+    @property
+    def asn_of(self):
+        """Ground-truth IP-to-AS mapping."""
+        return self.internet.asn_of_address
+
+
+@lru_cache(maxsize=4)
+def _cached_context(config: ContextConfig) -> CampaignContext:
+    return CampaignContext(config)
+
+
+def campaign_context(
+    config: Optional[ContextConfig] = None,
+) -> CampaignContext:
+    """Build (or fetch the memoised) campaign context."""
+    return _cached_context(config or ContextConfig())
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Minimal fixed-width text table for experiment output."""
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(value) for value in row] for row in rows)
+    widths = [
+        max(len(row[col]) for row in cells)
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

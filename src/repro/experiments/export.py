@@ -1,0 +1,161 @@
+"""CSV export of figure data series.
+
+The experiment modules return structured results; this module writes
+the plottable series (PDFs, curves) as CSV so any external tool —
+gnuplot, matplotlib, a spreadsheet — can redraw the paper's figures
+from a reproduction run.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.experiments.common import ContextConfig
+from repro.stats.distributions import Distribution
+
+__all__ = [
+    "write_series",
+    "export_distribution",
+    "export_all_figures",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_series(
+    path: PathLike,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write one CSV file with ``header`` and ``rows``."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_distribution(
+    path: PathLike, distribution: Distribution, label: str = "value"
+) -> None:
+    """Write a distribution's PDF as ``(value, pdf, cdf)`` rows."""
+    cdf = dict(distribution.cdf_points())
+    rows = [
+        (value, probability, cdf[value])
+        for value, probability in distribution.pdf_points()
+    ]
+    write_series(path, [label, "pdf", "cdf"], rows)
+
+
+def export_all_figures(
+    directory: PathLike, config: Optional[ContextConfig] = None
+) -> List[Path]:
+    """Export every figure's data series under ``directory``.
+
+    Returns the files written.  Figures whose data is empty on this
+    run are skipped.
+    """
+    from repro.experiments import (
+        fig01_degree,
+        fig05_ftl,
+        fig06_rtt,
+        fig07_rfa,
+        fig08_te_er,
+        fig09_rtla,
+        fig10_degree,
+        fig11_pathlen,
+    )
+
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    def emit(name: str, header, rows) -> None:
+        if not rows:
+            return
+        path = base / name
+        write_series(path, header, rows)
+        written.append(path)
+
+    fig1 = fig01_degree.run(config)
+    emit("fig01_degree_pdf.csv", ["degree", "pdf"], fig1.pdf)
+
+    fig5 = fig05_ftl.run(config)
+    rows = []
+    for method, distribution in fig5.by_method.items():
+        for value, probability in distribution.pdf_points():
+            rows.append((method, int(value), probability))
+    emit("fig05_ftl_pdf.csv", ["method", "hops", "pdf"], rows)
+
+    fig6 = fig06_rtt.run(config)
+    emit(
+        "fig06_rtt_curves.csv",
+        ["curve", "hop", "rtt_ms", "revealed"],
+        [
+            ("invisible", p.hop, p.rtt_ms, 0)
+            for p in fig6.invisible
+        ]
+        + [
+            ("visible", p.hop, p.rtt_ms, int(p.revealed))
+            for p in fig6.visible
+        ],
+    )
+
+    fig7 = fig07_rfa.run(config)
+    rows = []
+    for curve, distribution in (
+        ("others", fig7.others),
+        ("ingress", fig7.ingress),
+        ("egress_pr", fig7.egress_pr),
+        ("egress_npr", fig7.egress_npr),
+        ("corrected", fig7.corrected),
+    ):
+        for value, probability in distribution.pdf_points():
+            rows.append((curve, value, probability))
+    emit("fig07_rfa_pdf.csv", ["curve", "rfa", "pdf"], rows)
+
+    fig8 = fig08_te_er.run(config)
+    rows = [
+        ("time_exceeded", value, probability)
+        for value, probability in fig8.time_exceeded.pdf_points()
+    ] + [
+        ("echo_reply", value, probability)
+        for value, probability in fig8.echo_reply.pdf_points()
+    ]
+    emit("fig08_rfa_pdf.csv", ["message", "rfa", "pdf"], rows)
+
+    fig9 = fig09_rtla.run(config)
+    rows = [
+        ("return_tunnel_length", value, probability)
+        for value, probability in
+        fig9.return_tunnel_lengths.pdf_points()
+    ] + [
+        ("tunnel_asymmetry", value, probability)
+        for value, probability in fig9.tunnel_asymmetry.pdf_points()
+    ]
+    emit("fig09_rtla_pdf.csv", ["series", "value", "pdf"], rows)
+
+    fig10 = fig10_degree.run(config)
+    rows = []
+    for curve, distribution in (
+        ("all_invisible", fig10.invisible_all),
+        ("all_visible", fig10.visible_all),
+        ("focus_invisible", fig10.invisible_focus),
+        ("focus_visible", fig10.visible_focus),
+    ):
+        for value, probability in distribution.pdf_points():
+            rows.append((curve, int(value), probability))
+    emit("fig10_degree_pdf.csv", ["curve", "degree", "pdf"], rows)
+
+    fig11 = fig11_pathlen.run(config)
+    rows = [
+        ("invisible", int(value), probability)
+        for value, probability in fig11.invisible.pdf_points()
+    ] + [
+        ("visible", int(value), probability)
+        for value, probability in fig11.visible.pdf_points()
+    ]
+    emit("fig11_pathlen_pdf.csv", ["curve", "length", "pdf"], rows)
+
+    return written

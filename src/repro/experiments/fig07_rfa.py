@@ -1,0 +1,109 @@
+"""Fig. 7 — Return vs Forward Asymmetry (RFA) distributions.
+
+Fig. 7a splits RFA samples by the responding address's campaign role:
+"Others" (no LER role), "Ingress", and "Egress PR" (egress LERs whose
+forward tunnel was revealed).  Fig. 7b adds "Egress NPR" (no path
+revelation) and the *corrected* egress distribution, where the
+revealed hop count is added back to the forward length.
+
+Shape targets: Others/Ingress centred at ~0; Egress PR shifted to
+positive values; the corrected Egress curve re-centred at ~0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.frpla import rfa_of_hop
+from repro.experiments.common import (
+    ContextConfig,
+    campaign_context,
+    format_table,
+)
+from repro.stats.distributions import Distribution
+
+__all__ = ["Fig7Result", "run"]
+
+
+@dataclass
+class Fig7Result:
+    """RFA distributions per role, plus the corrected egress curve."""
+
+    others: Distribution = field(default_factory=Distribution)
+    ingress: Distribution = field(default_factory=Distribution)
+    egress_pr: Distribution = field(default_factory=Distribution)
+    egress_npr: Distribution = field(default_factory=Distribution)
+    corrected: Distribution = field(default_factory=Distribution)
+
+    def medians(self) -> Dict[str, Optional[float]]:
+        """Median RFA per curve (None when empty)."""
+        return {
+            name: (dist.median if len(dist) else None)
+            for name, dist in (
+                ("others", self.others),
+                ("ingress", self.ingress),
+                ("egress_pr", self.egress_pr),
+                ("egress_npr", self.egress_npr),
+                ("corrected", self.corrected),
+            )
+        }
+
+    @property
+    def text(self) -> str:
+        """Text rendering in the paper's table/figure layout."""
+        rows = []
+        for name, dist in (
+            ("Others", self.others),
+            ("Ingress", self.ingress),
+            ("Egress PR", self.egress_pr),
+            ("Egress NPR", self.egress_npr),
+            ("Correction", self.corrected),
+        ):
+            if len(dist):
+                rows.append(
+                    (
+                        name,
+                        len(dist),
+                        f"{dist.median:g}",
+                        f"{dist.mean:.2f}",
+                        f"{dist.fraction(lambda v: v > 0):.0%}",
+                    )
+                )
+            else:
+                rows.append((name, 0, "-", "-", "-"))
+        return format_table(
+            ["Curve", "Samples", "Median", "Mean", ">0"],
+            rows,
+            title="Fig. 7: Return vs Forward Asymmetry by role",
+        )
+
+
+def run(config: Optional[ContextConfig] = None) -> Fig7Result:
+    """Compute the Fig. 7 distributions over the campaign traces."""
+    context = campaign_context(config)
+    aggregator = context.aggregator
+    revealed_by_egress: Dict[int, int] = {}
+    for (_, egress), revelation in context.result.revelations.items():
+        if revelation.success:
+            revealed_by_egress[egress] = revelation.tunnel_length
+    result = Fig7Result()
+    for trace in context.result.traces:
+        for hop in trace.hops:
+            sample = rfa_of_hop(hop)
+            if sample is None:
+                continue
+            role = aggregator.role_of(sample.address)
+            if role == "other":
+                result.others.add(sample.rfa)
+            elif role == "ingress":
+                result.ingress.add(sample.rfa)
+            else:
+                hidden = revealed_by_egress.get(sample.address)
+                if hidden is None:
+                    result.egress_npr.add(sample.rfa)
+                else:
+                    result.egress_pr.add(sample.rfa)
+                    # Fig. 7b: add revealed hops to the forward length.
+                    result.corrected.add(sample.rfa - hidden)
+    return result

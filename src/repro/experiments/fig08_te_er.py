@@ -1,0 +1,79 @@
+"""Fig. 8 — RFA via time-exceeded vs echo-reply (Juniper LERs).
+
+For egress LERs with the ``<255, 64>`` signature, the RFA computed
+from ``time-exceeded`` replies (initial 255 — return tunnels counted
+by the min rule) is compared with the RFA computed from ``echo-reply``
+(initial 64 — return tunnels invisible).  Shape targets: the
+time-exceeded curve shifts positive; the echo-reply curve stays near
+zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.frpla import rfa_of_hop
+from repro.core.signatures import return_path_length
+from repro.experiments.common import (
+    ContextConfig,
+    campaign_context,
+    format_table,
+)
+from repro.stats.distributions import Distribution
+
+__all__ = ["Fig8Result", "run"]
+
+
+@dataclass
+class Fig8Result:
+    """The two RFA distributions."""
+
+    time_exceeded: Distribution = field(default_factory=Distribution)
+    echo_reply: Distribution = field(default_factory=Distribution)
+
+    @property
+    def text(self) -> str:
+        """Text rendering in the paper's table/figure layout."""
+        rows = []
+        for name, dist in (
+            ("Time Exceeded", self.time_exceeded),
+            ("Echo-Reply", self.echo_reply),
+        ):
+            if len(dist):
+                rows.append(
+                    (name, len(dist), f"{dist.median:g}", f"{dist.mean:.2f}")
+                )
+            else:
+                rows.append((name, 0, "-", "-"))
+        return format_table(
+            ["Message", "Samples", "Median RFA", "Mean RFA"],
+            rows,
+            title="Fig. 8: RFA from time-exceeded vs echo-reply",
+        )
+
+
+def run(config: Optional[ContextConfig] = None) -> Fig8Result:
+    """Compute the Fig. 8 distributions over Juniper-edge targets."""
+    context = campaign_context(config)
+    inventory = context.result.inventory
+    pings = context.result.pings
+    result = Fig8Result()
+    for trace in context.result.traces:
+        for hop in trace.hops:
+            sample = rfa_of_hop(hop)
+            if sample is None:
+                continue
+            if not inventory.signature(sample.address).rtla_capable:
+                continue
+            if context.aggregator.role_of(sample.address) != "egress":
+                continue
+            result.time_exceeded.add(sample.rfa)
+            ping = pings.get(sample.address)
+            if ping is None or not ping.responded:
+                continue
+            er_return = return_path_length(ping.reply_ttl)
+            if er_return is None:
+                continue
+            result.echo_reply.add(er_return - sample.forward_length)
+    return result

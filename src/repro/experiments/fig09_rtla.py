@@ -1,0 +1,71 @@
+"""Fig. 9 — RTLA: return tunnel lengths and tunnel asymmetry.
+
+Fig. 9a: distribution of return-tunnel lengths inferred by RTLA over
+``<255, 64>`` LERs.  Fig. 9b: RTLA's return length minus the revealed
+forward tunnel length, for egresses covered by both — the accuracy
+check.  Shape targets: 9a resembles the forward tunnel distribution
+(short, decreasing); 9b is centred at 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.common import (
+    ContextConfig,
+    campaign_context,
+    format_table,
+)
+from repro.stats.distributions import Distribution
+
+__all__ = ["Fig9Result", "run"]
+
+
+@dataclass
+class Fig9Result:
+    """RTLA distributions."""
+
+    return_tunnel_lengths: Distribution = field(
+        default_factory=Distribution
+    )
+    tunnel_asymmetry: Distribution = field(default_factory=Distribution)
+
+    @property
+    def text(self) -> str:
+        """Text rendering in the paper's table/figure layout."""
+        rows = []
+        for name, dist in (
+            ("Return tunnel length (9a)", self.return_tunnel_lengths),
+            ("RTLA - FTL asymmetry (9b)", self.tunnel_asymmetry),
+        ):
+            if len(dist):
+                rows.append(
+                    (
+                        name,
+                        len(dist),
+                        f"{dist.median:g}",
+                        f"{dist.mean:.2f}",
+                        f"{dist.min:g}",
+                        f"{dist.max:g}",
+                    )
+                )
+            else:
+                rows.append((name, 0, "-", "-", "-", "-"))
+        return format_table(
+            ["Distribution", "Samples", "Median", "Mean", "Min", "Max"],
+            rows,
+            title="Fig. 9: RTLA with Juniper egress LERs",
+        )
+
+
+def run(config: Optional[ContextConfig] = None) -> Fig9Result:
+    """Compute the Fig. 9 distributions."""
+    context = campaign_context(config)
+    result = Fig9Result()
+    egresses = context.aggregator.egress_addresses()
+    for estimate in context.result.rtla.estimates():
+        if estimate.address in egresses:
+            result.return_tunnel_lengths.add(estimate.tunnel_length)
+    result.tunnel_asymmetry = context.aggregator.tunnel_asymmetry()
+    return result

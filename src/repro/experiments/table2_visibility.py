@@ -1,0 +1,184 @@
+"""Table 2 — visibility effects of basic MPLS configurations.
+
+Sweeps the full grid (LDP policy × target kind × TTL policy × Egress
+signature) on the Fig. 2 testbed and classifies what traceroute
+observes, then checks every cell against the paper's prediction
+(:func:`repro.core.classify.expected_visibility`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.classify import (
+    LspVisibility,
+    VisibilityExpectation,
+    expected_visibility,
+)
+from repro.core.frpla import rfa_of_hop
+from repro.core.rtla import RtlaAnalyzer
+from repro.experiments.common import format_table
+from repro.mpls.config import MplsConfig
+from repro.net.vendors import CISCO, JUNIPER, LdpPolicy, VendorProfile
+from repro.synth.gns3 import Gns3Testbed, build_gns3
+
+__all__ = ["Table2Cell", "Table2Result", "run"]
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """One grid point: configuration, observation, prediction."""
+
+    ldp_policy: LdpPolicy
+    target_internal: bool
+    ttl_propagate: bool
+    signature: Tuple[int, int]
+    observed_visibility: LspVisibility
+    observed_shift: bool
+    observed_gap: bool
+    expected: VisibilityExpectation
+
+    @property
+    def matches(self) -> bool:
+        """Observation equals the paper's prediction."""
+        return (
+            self.observed_visibility is self.expected.visibility
+            and self.observed_shift == self.expected.frpla_shift
+            and self.observed_gap == self.expected.rtla_gap
+        )
+
+
+@dataclass
+class Table2Result:
+    """The full grid."""
+
+    cells: List[Table2Cell] = field(default_factory=list)
+
+    @property
+    def all_match(self) -> bool:
+        """Every observation matches its predicted cell."""
+        return all(cell.matches for cell in self.cells)
+
+    @property
+    def text(self) -> str:
+        """Text rendering in the paper's table/figure layout."""
+        rows = []
+        for cell in self.cells:
+            rows.append(
+                (
+                    cell.ldp_policy.value,
+                    "internal" if cell.target_internal else "external",
+                    "propagate" if cell.ttl_propagate else "no-propagate",
+                    f"<{cell.signature[0]},{cell.signature[1]}>",
+                    cell.observed_visibility.value,
+                    "shift" if cell.observed_shift else "-",
+                    "gap" if cell.observed_gap else "-",
+                    "ok" if cell.matches else "MISMATCH",
+                )
+            )
+        return format_table(
+            [
+                "LDP policy", "target", "TTL policy", "LER sig",
+                "observed", "FRPLA", "RTLA", "check",
+            ],
+            rows,
+            title="Table 2: visibility effects (emulated grid sweep)",
+        )
+
+
+def _observe_visibility(
+    testbed: Gns3Testbed, target_internal: bool
+) -> LspVisibility:
+    """Classify what traceroute shows for the chosen target."""
+    target = "PE2.left" if target_internal else "CE2.left"
+    trace = testbed.traceroute(target)
+    addresses = trace.addresses
+    pe1 = testbed.address("PE1.left")
+    if pe1 not in addresses:
+        return LspVisibility.INVISIBLE
+    start = addresses.index(pe1)
+    endpoint = testbed.address(
+        "PE2.left" if target_internal else "CE2.left"
+    )
+    if endpoint not in addresses:
+        return LspVisibility.INVISIBLE
+    end = addresses.index(endpoint)
+    between = trace.responsive_hops[start + 1 : end]
+    # Drop the egress itself from the "between" hops (it is the
+    # target when probing internally).
+    core = [
+        hop
+        for hop in between
+        if hop.address != testbed.address("PE2.left")
+    ]
+    if not core:
+        return LspVisibility.INVISIBLE
+    labelled = [hop for hop in core if hop.has_labels]
+    unlabelled = [hop for hop in core if not hop.has_labels]
+    if target_internal:
+        # All three LSRs visible without labels = a plain IGP route;
+        # only the penultimate one = the PHP last-hop phenomenon.
+        if len(unlabelled) >= 3:
+            return LspVisibility.ROUTE_NO_LABEL
+        return LspVisibility.LAST_HOP_NO_LABEL
+    if labelled:
+        return LspVisibility.EXPLICIT
+    return LspVisibility.ROUTE_NO_LABEL
+
+
+def _observe_shift_and_gap(testbed: Gns3Testbed) -> Tuple[bool, bool]:
+    """Measure the FRPLA shift and RTLA gap at the forward egress."""
+    trace = testbed.traceroute("CE2.left")
+    egress_hop = trace.hop_of(testbed.address("PE2.left"))
+    shift = False
+    if egress_hop is not None:
+        sample = rfa_of_hop(egress_hop)
+        shift = sample is not None and sample.rfa > 0
+    analyzer = RtlaAnalyzer()
+    analyzer.add_trace(trace)
+    analyzer.add_ping(
+        testbed.prober.ping(
+            testbed.vantage_point, testbed.address("PE2.left")
+        )
+    )
+    estimate = analyzer.estimate(testbed.address("PE2.left"))
+    gap = estimate is not None and estimate.tunnel_length > 0
+    return shift, gap
+
+
+def run() -> Table2Result:
+    """Sweep the Table 2 grid on the emulated testbed."""
+    result = Table2Result()
+    vendors: List[VendorProfile] = [CISCO, JUNIPER]
+    for ldp_policy in (LdpPolicy.ALL_PREFIXES, LdpPolicy.LOOPBACK_ONLY):
+        for ttl_propagate in (True, False):
+            for vendor in vendors:
+                config = MplsConfig.from_vendor(
+                    vendor, ttl_propagate=ttl_propagate
+                ).with_overrides(ldp_policy=ldp_policy)
+                testbed = build_gns3(vendor=vendor, config=config)
+                shift, gap = _observe_shift_and_gap(testbed)
+                for target_internal in (False, True):
+                    observed = _observe_visibility(
+                        testbed, target_internal
+                    )
+                    expected = expected_visibility(
+                        ldp_policy,
+                        target_internal,
+                        ttl_propagate,
+                        vendor.signature,
+                    )
+                    result.cells.append(
+                        Table2Cell(
+                            ldp_policy=ldp_policy,
+                            target_internal=target_internal,
+                            ttl_propagate=ttl_propagate,
+                            signature=vendor.signature,
+                            observed_visibility=observed,
+                            observed_shift=shift,
+                            observed_gap=gap,
+                            expected=expected,
+                        )
+                    )
+    return result

@@ -1,0 +1,77 @@
+"""Table 5 — MPLS deployment characteristics per AS.
+
+Per suspicious AS: TTL-signature shares of its observed addresses,
+shares of the hidden-hop discovery techniques over its revealed
+tunnels, and the three tunnel-length estimators side by side (FRPLA
+median shift, RTLA median, revealed forward tunnel length).  Shape
+targets: Cisco-heavy ASes lean BRPR, Juniper-heavy ones lean DPR, and
+FRPLA/RTLA medians track the revealed length within a hop or two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.campaign.postprocess import AsDeploymentRow
+from repro.experiments.common import (
+    ContextConfig,
+    campaign_context,
+    format_table,
+)
+
+__all__ = ["Table5Result", "run"]
+
+_SIGNATURES = ("<255,255>", "<255,64>", "<64,64>")
+_TECHNIQUES = ("dpr", "brpr", "dpr-or-brpr", "hybrid")
+
+
+@dataclass
+class Table5Result:
+    """Table 5 rows keyed by ASN."""
+
+    rows: Dict[int, AsDeploymentRow] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        """Text rendering in the paper's table/figure layout."""
+        table_rows = []
+        ordered = sorted(
+            self.rows.items(),
+            key=lambda item: -item[1].signature_shares.get("<255,255>", 0.0),
+        )
+        for asn, row in ordered:
+            cells = [asn]
+            for signature in _SIGNATURES:
+                cells.append(
+                    f"{row.signature_shares.get(signature, 0.0):.0%}"
+                )
+            for technique in _TECHNIQUES:
+                cells.append(
+                    f"{row.technique_shares.get(technique, 0.0):.0%}"
+                )
+            for value in (
+                row.frpla_median, row.rtla_median, row.ftl_median
+            ):
+                cells.append("-" if value is None else f"{value:g}")
+            table_rows.append(tuple(cells))
+        return format_table(
+            [
+                "ASN", "<255,255>", "<255,64>", "<64,64>",
+                "DPR", "BRPR", "DPRorBRPR", "Hybrid",
+                "FRPLA", "RTLA", "FTL",
+            ],
+            table_rows,
+            title="Table 5: MPLS deployment per AS",
+        )
+
+
+def run(config: Optional[ContextConfig] = None) -> Table5Result:
+    """Compute Table 5 over the standard campaign."""
+    context = campaign_context(config)
+    result = Table5Result()
+    for asn in context.internet.transit_asns:
+        result.rows[asn] = context.aggregator.deployment_row(
+            asn, frpla=context.frpla
+        )
+    return result

@@ -1,0 +1,21 @@
+"""MPLS machinery: labels, configuration, LDP policies, RSVP-TE."""
+
+from repro.mpls.config import MplsConfig, PoppingMode
+from repro.mpls.labels import (
+    EXPLICIT_NULL,
+    IMPLICIT_NULL,
+    LabelAllocator,
+    LabelStackEntry,
+)
+from repro.mpls.rsvp import TeTunnel, TeTunnelRegistry
+
+__all__ = [
+    "EXPLICIT_NULL",
+    "IMPLICIT_NULL",
+    "LabelAllocator",
+    "LabelStackEntry",
+    "MplsConfig",
+    "PoppingMode",
+    "TeTunnel",
+    "TeTunnelRegistry",
+]

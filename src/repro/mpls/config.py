@@ -1,0 +1,92 @@
+"""Per-router MPLS configuration.
+
+A router's MPLS behaviour is the combination of its vendor defaults
+(:mod:`repro.net.vendors`) and explicit operator configuration.  The
+paper's four GNS3 scenarios (Sec. 3.3) differ only in these knobs:
+
+* ``Default`` — MPLS on, PHP, ttl-propagate, LDP labels all prefixes.
+* ``Backward Recursive`` — same but ``no-ttl-propagate``.
+* ``Explicit Route`` — ``no-ttl-propagate`` + loopback-only LDP.
+* ``Totally Invisible`` — ``no-ttl-propagate`` + UHP (explicit null).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.net.vendors import LdpPolicy, VendorProfile
+
+__all__ = ["PoppingMode", "MplsConfig"]
+
+
+class PoppingMode(Enum):
+    """Where the top label is removed at the end of an LSP."""
+
+    #: Penultimate Hop Popping — implicit-null label (value 3); the
+    #: last-hop LSR pops and the egress does a plain IP lookup.
+    PHP = "php"
+    #: Ultimate Hop Popping — explicit-null label (value 0); the egress
+    #: LER itself pops.
+    UHP = "uhp"
+
+
+@dataclass(frozen=True)
+class MplsConfig:
+    """Operator-facing MPLS knobs for one router.
+
+    Attributes:
+        enabled: whether the router participates in MPLS at all.
+        ttl_propagate: copy IP-TTL into the LSE-TTL at label push.
+            ``False`` is the ``no mpls ip propagate-ttl`` setting that
+            makes forward tunnels invisible.
+        ldp_policy: which internal prefixes get LDP label bindings.
+        popping: PHP (default everywhere) or UHP.
+        min_ttl_on_pop: apply ``IP-TTL = min(IP-TTL, LSE-TTL)`` when
+            popping at the penultimate hop.
+        bgp_nexthop_labeling: tunnel external (BGP-learned) traffic
+            through the LSP toward the BGP next hop.  Default for both
+            major vendors when MPLS is on.
+        rfc4950: quote the MPLS label stack in time-exceeded replies.
+    """
+
+    enabled: bool = False
+    ttl_propagate: bool = True
+    ldp_policy: LdpPolicy = LdpPolicy.ALL_PREFIXES
+    popping: PoppingMode = PoppingMode.PHP
+    min_ttl_on_pop: bool = True
+    bgp_nexthop_labeling: bool = True
+    rfc4950: bool = True
+
+    @classmethod
+    def disabled(cls) -> "MplsConfig":
+        """Plain IP router — no MPLS."""
+        return cls(enabled=False)
+
+    @classmethod
+    def from_vendor(
+        cls,
+        vendor: VendorProfile,
+        *,
+        enabled: bool = True,
+        ttl_propagate: bool = True,
+        popping: PoppingMode = PoppingMode.PHP,
+    ) -> "MplsConfig":
+        """Build a config from a vendor's defaults."""
+        return cls(
+            enabled=enabled,
+            ttl_propagate=ttl_propagate,
+            ldp_policy=vendor.ldp_policy,
+            popping=popping,
+            min_ttl_on_pop=vendor.min_ttl_on_pop,
+            rfc4950=vendor.rfc4950,
+        )
+
+    def with_overrides(self, **changes: object) -> "MplsConfig":
+        """Return a copy with ``changes`` applied."""
+        return replace(self, **changes)
+
+    @property
+    def invisible(self) -> bool:
+        """True when forward tunnels through this ingress are hidden."""
+        return self.enabled and not self.ttl_propagate

@@ -1,0 +1,39 @@
+"""Network model: addressing, routers, vendors, topology."""
+
+from repro.net.addressing import (
+    AddressAllocator,
+    Prefix,
+    PrefixTable,
+    format_address,
+    parse_address,
+)
+from repro.net.router import Interface, Router
+from repro.net.topology import Link, Network
+from repro.net.vendors import (
+    BROCADE,
+    CISCO,
+    JUNIPER,
+    JUNIPER_E,
+    LdpPolicy,
+    VendorProfile,
+    profile_named,
+)
+
+__all__ = [
+    "AddressAllocator",
+    "BROCADE",
+    "CISCO",
+    "Interface",
+    "JUNIPER",
+    "JUNIPER_E",
+    "LdpPolicy",
+    "Link",
+    "Network",
+    "Prefix",
+    "PrefixTable",
+    "Router",
+    "VendorProfile",
+    "format_address",
+    "parse_address",
+    "profile_named",
+]

@@ -1,0 +1,121 @@
+"""Router vendor behaviour profiles.
+
+The paper's techniques hinge on vendor-specific defaults:
+
+* initial TTLs of generated ICMP messages (Table 1 signatures),
+* LDP label-advertising policy (Cisco: all IGP prefixes; Juniper:
+  loopbacks only),
+* whether the ``min(IP-TTL, LSE-TTL)`` rule runs when a label is popped
+  at the penultimate hop (documented for Cisco, commonly observed on
+  Juniper egresses too — Sec. 6 of the paper).
+
+A :class:`VendorProfile` bundles those defaults; concrete routers may
+still override individual knobs through their MPLS configuration (see
+:mod:`repro.mpls.config`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+__all__ = [
+    "LdpPolicy",
+    "VendorProfile",
+    "CISCO",
+    "JUNIPER",
+    "JUNIPER_E",
+    "BROCADE",
+    "PROFILES",
+    "profile_named",
+]
+
+
+class LdpPolicy(Enum):
+    """Which internal prefixes a router advertises into LDP."""
+
+    ALL_PREFIXES = "all-prefixes"
+    LOOPBACK_ONLY = "loopback-only"
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """Immutable description of a router brand/OS behaviour.
+
+    Attributes:
+        name: human-readable brand/OS label.
+        ttl_time_exceeded: initial IP-TTL of ICMP time-exceeded replies.
+        ttl_echo_reply: initial IP-TTL of ICMP echo-reply messages.
+        ldp_policy: default LDP label-advertising policy.
+        min_ttl_on_pop: whether popping a label applies
+            ``IP-TTL = min(IP-TTL, LSE-TTL)``.
+        rfc4950: whether time-exceeded replies quote the MPLS label
+            stack (ICMP extensions).
+    """
+
+    name: str
+    ttl_time_exceeded: int
+    ttl_echo_reply: int
+    ldp_policy: LdpPolicy
+    min_ttl_on_pop: bool = True
+    rfc4950: bool = True
+
+    @property
+    def signature(self) -> Tuple[int, int]:
+        """The ``<time-exceeded, echo-reply>`` pair-signature (Table 1)."""
+        return (self.ttl_time_exceeded, self.ttl_echo_reply)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Cisco IOS / IOS XR — signature <255, 255>, LDP labels all prefixes.
+CISCO = VendorProfile(
+    name="cisco",
+    ttl_time_exceeded=255,
+    ttl_echo_reply=255,
+    ldp_policy=LdpPolicy.ALL_PREFIXES,
+)
+
+#: Juniper Junos — signature <255, 64>, LDP labels loopbacks only.
+JUNIPER = VendorProfile(
+    name="juniper",
+    ttl_time_exceeded=255,
+    ttl_echo_reply=64,
+    ldp_policy=LdpPolicy.LOOPBACK_ONLY,
+)
+
+#: Juniper JunosE — signature <128, 128>.
+JUNIPER_E = VendorProfile(
+    name="junos-e",
+    ttl_time_exceeded=128,
+    ttl_echo_reply=128,
+    ldp_policy=LdpPolicy.LOOPBACK_ONLY,
+)
+
+#: Brocade / Alcatel / Linux-based — signature <64, 64>.  The paper
+#: observes this signature behaving like Juniper for revelation
+#: purposes (AS3549 analysis, Sec. 6), hence loopback-only LDP.
+BROCADE = VendorProfile(
+    name="brocade",
+    ttl_time_exceeded=64,
+    ttl_echo_reply=64,
+    ldp_policy=LdpPolicy.LOOPBACK_ONLY,
+)
+
+#: Registry of all built-in profiles, keyed by name.
+PROFILES: Dict[str, VendorProfile] = {
+    profile.name: profile
+    for profile in (CISCO, JUNIPER, JUNIPER_E, BROCADE)
+}
+
+
+def profile_named(name: str) -> VendorProfile:
+    """Look up a built-in profile by name (KeyError when unknown)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown vendor profile {name!r}; known: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,23 @@
+"""Probing: Paris traceroute, ping, datasets, multipath enumeration."""
+
+from repro.probing.dataset import load_dataset, save_dataset
+from repro.probing.multipath import MultipathResult, enumerate_paths
+from repro.probing.prober import (
+    PingResult,
+    Prober,
+    Trace,
+    TraceHop,
+    UdpProbeResult,
+)
+
+__all__ = [
+    "MultipathResult",
+    "PingResult",
+    "Prober",
+    "Trace",
+    "TraceHop",
+    "UdpProbeResult",
+    "enumerate_paths",
+    "load_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,217 @@
+"""Trace dataset serialization.
+
+The paper's dataset is "freely available" as warts/text dumps; this
+module provides the equivalent for simulated campaigns: a stable JSON
+schema for traces, pings, and revelations, with round-trip loaders.
+Ground-truth-only fields (``responder_router``) are preserved so saved
+datasets remain scoreable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.revelation import Revelation, RevelationMethod
+from repro.probing.prober import PingResult, Trace, TraceHop
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "traces_to_dicts",
+    "traces_from_dicts",
+    "pings_to_dicts",
+    "pings_from_dicts",
+    "revelations_to_dicts",
+    "revelations_from_dicts",
+    "save_dataset",
+    "load_dataset",
+]
+
+#: Bumped on any incompatible schema change.
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Traces
+
+
+def _hop_to_dict(hop: TraceHop) -> Dict:
+    return {
+        "probe_ttl": hop.probe_ttl,
+        "address": hop.address,
+        "reply_kind": hop.reply_kind,
+        "reply_ttl": hop.reply_ttl,
+        "quoted_labels": [list(pair) for pair in hop.quoted_labels],
+        "rtt_ms": hop.rtt_ms,
+        "responder_router": hop.responder_router,
+    }
+
+
+def _hop_from_dict(data: Dict) -> TraceHop:
+    return TraceHop(
+        probe_ttl=data["probe_ttl"],
+        address=data["address"],
+        reply_kind=data.get("reply_kind"),
+        reply_ttl=data.get("reply_ttl"),
+        quoted_labels=[
+            tuple(pair) for pair in data.get("quoted_labels", [])
+        ],
+        rtt_ms=data.get("rtt_ms", 0.0),
+        responder_router=data.get("responder_router"),
+    )
+
+
+def traces_to_dicts(traces: Iterable[Trace]) -> List[Dict]:
+    """Serialize traces to JSON-ready dicts."""
+    return [
+        {
+            "source": trace.source,
+            "source_address": trace.source_address,
+            "dst": trace.dst,
+            "flow_id": trace.flow_id,
+            "destination_reached": trace.destination_reached,
+            "hops": [_hop_to_dict(hop) for hop in trace.hops],
+        }
+        for trace in traces
+    ]
+
+
+def traces_from_dicts(data: Iterable[Dict]) -> List[Trace]:
+    """Rebuild traces from their serialized form."""
+    traces = []
+    for item in data:
+        trace = Trace(
+            source=item["source"],
+            source_address=item["source_address"],
+            dst=item["dst"],
+            flow_id=item["flow_id"],
+            destination_reached=item["destination_reached"],
+        )
+        trace.hops = [_hop_from_dict(hop) for hop in item["hops"]]
+        traces.append(trace)
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# Pings
+
+
+def pings_to_dicts(pings: Dict[int, PingResult]) -> List[Dict]:
+    """Serialize a ping map (address -> result)."""
+    return [
+        {
+            "dst": result.dst,
+            "responded": result.responded,
+            "reply_kind": result.reply_kind,
+            "reply_ttl": result.reply_ttl,
+            "rtt_ms": result.rtt_ms,
+            "source": result.source,
+        }
+        for _, result in sorted(pings.items())
+    ]
+
+
+def pings_from_dicts(data: Iterable[Dict]) -> Dict[int, PingResult]:
+    """Rebuild the ping map."""
+    pings: Dict[int, PingResult] = {}
+    for item in data:
+        pings[item["dst"]] = PingResult(
+            dst=item["dst"],
+            responded=item["responded"],
+            reply_kind=item.get("reply_kind"),
+            reply_ttl=item.get("reply_ttl"),
+            rtt_ms=item.get("rtt_ms", 0.0),
+            source=item.get("source"),
+        )
+    return pings
+
+
+# ---------------------------------------------------------------------------
+# Revelations
+
+
+def revelations_to_dicts(
+    revelations: Dict[Tuple[int, int], Revelation],
+) -> List[Dict]:
+    """Serialize the revelation map ((ingress, egress) -> result)."""
+    return [
+        {
+            "ingress": revelation.ingress,
+            "egress": revelation.egress,
+            "revealed": list(revelation.revealed),
+            "method": revelation.method.value,
+            "traces_used": revelation.traces_used,
+            "probes_used": revelation.probes_used,
+            "step_reveals": list(revelation.step_reveals),
+            "labels_seen": revelation.labels_seen,
+        }
+        for _, revelation in sorted(revelations.items())
+    ]
+
+
+def revelations_from_dicts(
+    data: Iterable[Dict],
+) -> Dict[Tuple[int, int], Revelation]:
+    """Rebuild the revelation map."""
+    revelations: Dict[Tuple[int, int], Revelation] = {}
+    for item in data:
+        revelation = Revelation(
+            ingress=item["ingress"],
+            egress=item["egress"],
+            revealed=list(item["revealed"]),
+            method=RevelationMethod(item["method"]),
+            traces_used=item["traces_used"],
+            probes_used=item["probes_used"],
+            step_reveals=list(item["step_reveals"]),
+            labels_seen=item["labels_seen"],
+        )
+        revelations[(revelation.ingress, revelation.egress)] = revelation
+    return revelations
+
+
+# ---------------------------------------------------------------------------
+# Whole datasets
+
+
+def save_dataset(
+    path: Union[str, Path],
+    traces: Iterable[Trace],
+    pings: Optional[Dict[int, PingResult]] = None,
+    revelations: Optional[Dict[Tuple[int, int], Revelation]] = None,
+    metadata: Optional[Dict] = None,
+) -> None:
+    """Write a campaign dataset as one JSON document."""
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "metadata": dict(metadata or {}),
+        "traces": traces_to_dicts(traces),
+        "pings": pings_to_dicts(pings or {}),
+        "revelations": revelations_to_dicts(revelations or {}),
+    }
+    Path(path).write_text(json.dumps(document, indent=1))
+
+
+def load_dataset(path: Union[str, Path]) -> Dict:
+    """Load a dataset saved by :func:`save_dataset`.
+
+    Returns a dict with ``traces``, ``pings``, ``revelations`` and
+    ``metadata`` keys, fully deserialized.  Raises ``ValueError`` on a
+    schema mismatch.
+    """
+    document = json.loads(Path(path).read_text())
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported dataset schema {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return {
+        "metadata": document.get("metadata", {}),
+        "traces": traces_from_dicts(document.get("traces", [])),
+        "pings": pings_from_dicts(document.get("pings", [])),
+        "revelations": revelations_from_dicts(
+            document.get("revelations", [])
+        ),
+    }

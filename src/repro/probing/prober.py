@@ -1,0 +1,267 @@
+"""Scamper-like prober: traceroute and ping over the simulator.
+
+The prober mirrors the measurement setup of Sec. 4: Paris traceroute
+with ICMP ``echo-request`` probes (constant flow identifier per trace,
+so ECMP load balancing cannot split one trace across paths), plus
+``echo-request`` pings toward every discovered address for router
+fingerprinting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dataplane.engine import ForwardingEngine, ProbeOutcome
+from repro.dataplane.packet import ECHO_REPLY
+from repro.net.addressing import format_address
+from repro.net.router import Router
+
+__all__ = [
+    "TraceHop", "Trace", "PingResult", "UdpProbeResult", "Prober",
+]
+
+
+@dataclass
+class TraceHop:
+    """One hop of a traceroute."""
+
+    probe_ttl: int
+    address: Optional[int]  #: responding address; None for ``*``
+    reply_kind: Optional[str] = None
+    reply_ttl: Optional[int] = None  #: reply IP-TTL observed at the VP
+    quoted_labels: List[Tuple[int, int]] = field(default_factory=list)
+    rtt_ms: float = 0.0
+    responder_router: Optional[str] = None  #: ground truth (simulator)
+
+    @property
+    def responded(self) -> bool:
+        """True unless the hop timed out (``*``)."""
+        return self.address is not None
+
+    @property
+    def has_labels(self) -> bool:
+        """True when the reply quoted an MPLS label stack (RFC 4950)."""
+        return bool(self.quoted_labels)
+
+    def render(self, resolve_name=None) -> str:
+        """One traceroute output line (paper Fig. 4 style)."""
+        if not self.responded:
+            return f"{self.probe_ttl:>2} *"
+        name = (
+            resolve_name(self.address)
+            if resolve_name is not None
+            else format_address(self.address)
+        )
+        line = f"{self.probe_ttl:>2} {name} [{self.reply_ttl}]"
+        for label, ttl in self.quoted_labels:
+            line += f"\n     MPLS Label {label} TTL={ttl}"
+        return line
+
+
+@dataclass
+class Trace:
+    """A complete traceroute measurement."""
+
+    source: str  #: vantage-point router name
+    source_address: int
+    dst: int
+    flow_id: int
+    hops: List[TraceHop] = field(default_factory=list)
+    destination_reached: bool = False
+
+    @property
+    def responsive_hops(self) -> List[TraceHop]:
+        """Hops that answered, in probe order."""
+        return [hop for hop in self.hops if hop.responded]
+
+    @property
+    def addresses(self) -> List[int]:
+        """Responding addresses, in path order."""
+        return [hop.address for hop in self.hops if hop.address is not None]
+
+    @property
+    def forward_length(self) -> Optional[int]:
+        """Hop distance of the destination (None if unreached)."""
+        if not self.destination_reached:
+            return None
+        return self.hops[-1].probe_ttl
+
+    def hop_of(self, address: int) -> Optional[TraceHop]:
+        """First hop that answered with ``address``."""
+        for hop in self.hops:
+            if hop.address == address:
+                return hop
+        return None
+
+    def last_responsive(self, count: int) -> List[TraceHop]:
+        """The last ``count`` responding hops (path order)."""
+        return self.responsive_hops[-count:]
+
+    def contains_labels(self) -> bool:
+        """True when any hop quoted MPLS labels (explicit tunnel)."""
+        return any(hop.has_labels for hop in self.hops)
+
+    def render(self, resolve_name=None) -> str:
+        """Multi-line, Fig. 4-style rendering of the whole trace."""
+        header = f"$pt {format_address(self.dst)}"
+        if resolve_name is not None:
+            header = f"$pt {resolve_name(self.dst)}"
+        lines = [header]
+        lines.extend(hop.render(resolve_name) for hop in self.hops)
+        return "\n".join(lines)
+
+
+@dataclass
+class UdpProbeResult:
+    """Outcome of one Mercator-style UDP alias probe."""
+
+    dst: int  #: probed address
+    responded: bool
+    response_address: Optional[int] = None  #: reply source address
+    reply_ttl: Optional[int] = None
+
+    @property
+    def reveals_alias(self) -> bool:
+        """True when the reply came from a *different* address."""
+        return (
+            self.responded
+            and self.response_address is not None
+            and self.response_address != self.dst
+        )
+
+
+@dataclass
+class PingResult:
+    """Outcome of one echo-request probe at full TTL."""
+
+    dst: int
+    responded: bool
+    reply_kind: Optional[str] = None
+    reply_ttl: Optional[int] = None
+    rtt_ms: float = 0.0
+    source: Optional[str] = None  #: probing router name
+
+
+class Prober:
+    """Issues traceroutes and pings from vantage-point routers."""
+
+    def __init__(
+        self,
+        engine: ForwardingEngine,
+        max_ttl: int = 40,
+        gap_limit: int = 3,
+    ) -> None:
+        self.engine = engine
+        self.max_ttl = max_ttl
+        #: Stop after this many consecutive unresponsive hops
+        #: (scamper's gap limit).
+        self.gap_limit = gap_limit
+        self.probes_sent = 0
+        self._flow_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+
+    def traceroute(
+        self,
+        source: Router,
+        dst: int,
+        start_ttl: int = 1,
+        flow_id: Optional[int] = None,
+        max_ttl: Optional[int] = None,
+    ) -> Trace:
+        """Paris traceroute from ``source`` to ``dst``.
+
+        The flow identifier stays constant across the trace; distinct
+        traces get distinct flows unless ``flow_id`` pins one.
+        """
+        if flow_id is None:
+            flow_id = next(self._flow_ids)
+        trace = Trace(
+            source=source.name,
+            source_address=source.loopback,
+            dst=dst,
+            flow_id=flow_id,
+        )
+        gap = 0
+        limit = max_ttl if max_ttl is not None else self.max_ttl
+        for ttl in range(start_ttl, limit + 1):
+            outcome = self.engine.send_probe(
+                source, dst, ttl=ttl, flow_id=flow_id
+            )
+            self.probes_sent += 1
+            hop = self._hop_from(outcome)
+            trace.hops.append(hop)
+            if not hop.responded:
+                gap += 1
+                if gap >= self.gap_limit:
+                    break
+                continue
+            gap = 0
+            if hop.reply_kind == ECHO_REPLY and hop.address == dst:
+                trace.destination_reached = True
+                break
+        return trace
+
+    def udp_probe(
+        self, source: Router, dst: int, flow_id: Optional[int] = None
+    ) -> "UdpProbeResult":
+        """Mercator-style UDP probe to an unused port.
+
+        The destination answers with an ICMP port-unreachable sourced
+        from its *outgoing* interface toward the prober — when that
+        address differs from the probed one, both belong to the same
+        router (alias resolution).
+        """
+        if flow_id is None:
+            flow_id = next(self._flow_ids)
+        outcome = self.engine.send_probe(
+            source, dst, ttl=64, flow_id=flow_id, kind="udp-probe"
+        )
+        self.probes_sent += 1
+        if outcome.reply_kind != "dest-unreachable":
+            return UdpProbeResult(dst=dst, responded=False)
+        return UdpProbeResult(
+            dst=dst,
+            responded=True,
+            response_address=outcome.responder,
+            reply_ttl=outcome.reply_ttl,
+        )
+
+    def ping(
+        self, source: Router, dst: int, flow_id: Optional[int] = None
+    ) -> PingResult:
+        """Echo-request at full TTL (for fingerprinting)."""
+        if flow_id is None:
+            flow_id = next(self._flow_ids)
+        outcome = self.engine.send_probe(
+            source, dst, ttl=64, flow_id=flow_id
+        )
+        self.probes_sent += 1
+        if outcome.reply_kind != ECHO_REPLY:
+            return PingResult(dst=dst, responded=False, source=source.name)
+        return PingResult(
+            dst=dst,
+            responded=True,
+            reply_kind=outcome.reply_kind,
+            reply_ttl=outcome.reply_ttl,
+            rtt_ms=outcome.rtt_ms,
+            source=source.name,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _hop_from(outcome: ProbeOutcome) -> TraceHop:
+        if not outcome.responded:
+            return TraceHop(probe_ttl=outcome.probe_ttl, address=None)
+        return TraceHop(
+            probe_ttl=outcome.probe_ttl,
+            address=outcome.responder,
+            reply_kind=outcome.reply_kind,
+            reply_ttl=outcome.reply_ttl,
+            quoted_labels=list(outcome.quoted_labels),
+            rtt_ms=outcome.rtt_ms,
+            responder_router=outcome.responder_router,
+        )

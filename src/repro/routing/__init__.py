@@ -1,0 +1,14 @@
+"""Routing: IGP SPF, BGP-like AS paths, the unified control plane."""
+
+from repro.routing.bgp import BgpRouting
+from repro.routing.control import ControlPlane, Route, RouteKind, flow_choice
+from repro.routing.igp import IgpRouting
+
+__all__ = [
+    "BgpRouting",
+    "ControlPlane",
+    "IgpRouting",
+    "Route",
+    "RouteKind",
+    "flow_choice",
+]

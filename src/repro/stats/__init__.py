@@ -1,0 +1,5 @@
+"""Statistics helpers: empirical distributions."""
+
+from repro.stats.distributions import Distribution, looks_centered, normal_pdf
+
+__all__ = ["Distribution", "looks_centered", "normal_pdf"]

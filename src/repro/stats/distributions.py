@@ -1,0 +1,200 @@
+"""Small statistics toolkit for the measurement analyses.
+
+Everything the paper plots is a one-dimensional empirical distribution
+(PDFs of RFA, tunnel lengths, node degrees, path lengths).  The
+:class:`Distribution` wrapper provides the handful of summary
+statistics and histogram forms the experiment code needs, without
+pulling in numpy on hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Distribution", "normal_pdf", "looks_centered"]
+
+
+class Distribution:
+    """An empirical distribution over numeric samples."""
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self._values: List[float] = list(values)
+        self._sorted: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------
+    # Intake
+
+    def add(self, value: float) -> None:
+        """Append one sample."""
+        self._values.append(value)
+        self._sorted = None
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Append many samples."""
+        self._values.extend(values)
+        self._sorted = None
+
+    # ------------------------------------------------------------------
+    # Basics
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """The raw samples (insertion order)."""
+        return list(self._values)
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        return self._sorted
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (ValueError when empty)."""
+        if not self._values:
+            raise ValueError("empty distribution has no mean")
+        return sum(self._values) / len(self._values)
+
+    @property
+    def median(self) -> float:
+        """Median (ValueError when empty)."""
+        ordered = self._ordered()
+        if not ordered:
+            raise ValueError("empty distribution has no median")
+        n = len(ordered)
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (0 for fewer than 2 samples)."""
+        if len(self._values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self._values) / len(self._values)
+        )
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return self._ordered()[0]
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return self._ordered()[-1]
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile, linear interpolation; q in [0, 100]."""
+        ordered = self._ordered()
+        if not ordered:
+            raise ValueError("empty distribution has no percentiles")
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    # ------------------------------------------------------------------
+    # Histogram / PDF forms
+
+    def counts(self) -> Dict[float, int]:
+        """Exact value -> occurrence count."""
+        return dict(Counter(self._values))
+
+    def pdf(self) -> Dict[float, float]:
+        """Exact value -> empirical probability."""
+        n = len(self._values)
+        if n == 0:
+            return {}
+        return {
+            value: count / n for value, count in Counter(self._values).items()
+        }
+
+    def pdf_points(self) -> List[Tuple[float, float]]:
+        """Sorted ``(value, probability)`` pairs, ready for plotting."""
+        return sorted(self.pdf().items())
+
+    def cdf_points(self) -> List[Tuple[float, float]]:
+        """Sorted ``(value, P(X <= value))`` pairs."""
+        points = []
+        cumulative = 0.0
+        for value, probability in self.pdf_points():
+            cumulative += probability
+            points.append((value, cumulative))
+        return points
+
+    def histogram(
+        self, bins: Sequence[float]
+    ) -> List[Tuple[float, float, int]]:
+        """Counts per ``[lo, hi)`` bin; last bin is inclusive."""
+        edges = list(bins)
+        if len(edges) < 2:
+            raise ValueError("need at least two bin edges")
+        result = []
+        for i in range(len(edges) - 1):
+            lo, hi = edges[i], edges[i + 1]
+            last = i == len(edges) - 2
+            count = sum(
+                1
+                for v in self._values
+                if lo <= v < hi or (last and v == hi)
+            )
+            result.append((lo, hi, count))
+        return result
+
+    def fraction(self, predicate) -> float:
+        """Share of samples satisfying ``predicate`` (0 when empty)."""
+        if not self._values:
+            return 0.0
+        return sum(1 for v in self._values if predicate(v)) / len(
+            self._values
+        )
+
+    def mode(self) -> float:
+        """Most frequent value (ties: smallest; ValueError when empty)."""
+        if not self._values:
+            raise ValueError("empty distribution has no mode")
+        counter = Counter(self._values)
+        best_count = max(counter.values())
+        return min(v for v, c in counter.items() if c == best_count)
+
+
+def normal_pdf(x: float, mu: float, sigma: float) -> float:
+    """Gaussian density — reference curve for asymmetry plots."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    z = (x - mu) / sigma
+    return math.exp(-0.5 * z * z) / (sigma * math.sqrt(2 * math.pi))
+
+
+def looks_centered(
+    distribution: Distribution, center: float = 0.0, tolerance: float = 1.0
+) -> bool:
+    """Heuristic: is the distribution's median within ``tolerance``?
+
+    The paper's sanity check for asymmetry distributions ("normal law
+    centred in 0"): we only test the location, not normality.
+    """
+    if not len(distribution):
+        return False
+    return abs(distribution.median - center) <= tolerance

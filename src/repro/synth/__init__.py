@@ -1,0 +1,40 @@
+"""Synthetic environments: testbeds, Internet generator, failures."""
+
+from repro.synth.failures import (
+    disable_rfc4950,
+    rate_limit_routers,
+    silence_routers,
+)
+from repro.synth.gns3 import SCENARIOS, Gns3Testbed, build_gns3
+from repro.synth.internet import (
+    InternetConfig,
+    SyntheticInternet,
+    build_internet,
+)
+from repro.synth.ios_config import network_configs, router_config
+from repro.synth.profiles import (
+    PAPER_PROFILES,
+    SURVEY,
+    TransitProfile,
+    paper_profiles,
+    random_profiles,
+)
+
+__all__ = [
+    "Gns3Testbed",
+    "InternetConfig",
+    "PAPER_PROFILES",
+    "SCENARIOS",
+    "SURVEY",
+    "SyntheticInternet",
+    "TransitProfile",
+    "build_gns3",
+    "build_internet",
+    "disable_rfc4950",
+    "network_configs",
+    "paper_profiles",
+    "random_profiles",
+    "rate_limit_routers",
+    "router_config",
+    "silence_routers",
+]

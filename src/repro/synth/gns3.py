@@ -1,0 +1,174 @@
+"""The paper's GNS3 validation testbed (Fig. 2) in simulation.
+
+Three ASes::
+
+    VP -- CE1   |   PE1 -- P1 -- P2 -- P3 -- PE2   |   CE2
+       AS1      |           AS2 (MPLS, LDP)        |   AS3
+
+``X.left`` is the interface of X facing the vantage point, ``X.right``
+the one facing CE2 — matching the paper's notation, so the emulated
+traceroute outputs can be compared line by line with Fig. 4.
+
+Four scenarios (Sec. 3.3), selected by name:
+
+* ``default`` — PHP, ttl-propagate, LDP labels all prefixes.
+* ``backward-recursive`` — Default + ``no-ttl-propagate``.
+* ``explicit-route`` — ``no-ttl-propagate`` + loopback-only LDP.
+* ``totally-invisible`` — ``no-ttl-propagate`` + UHP (explicit null).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dataplane.engine import ForwardingEngine
+from repro.mpls.config import MplsConfig, PoppingMode
+from repro.net.addressing import format_address
+from repro.net.router import Router
+from repro.net.topology import Network
+from repro.net.vendors import CISCO, LdpPolicy, VendorProfile
+from repro.probing.prober import Prober, Trace
+from repro.routing.control import ControlPlane
+
+__all__ = ["SCENARIOS", "Gns3Testbed", "build_gns3", "scenario_config"]
+
+#: The four emulation scenarios of Sec. 3.3.
+SCENARIOS = (
+    "default",
+    "backward-recursive",
+    "explicit-route",
+    "totally-invisible",
+)
+
+#: Router chain inside the MPLS transit AS (AS2).
+_AS2_CHAIN = ("PE1", "P1", "P2", "P3", "PE2")
+
+
+def scenario_config(
+    scenario: str, vendor: VendorProfile = CISCO
+) -> MplsConfig:
+    """MPLS configuration applied to every AS2 router for ``scenario``."""
+    base = MplsConfig.from_vendor(vendor)
+    if scenario == "default":
+        return base.with_overrides(
+            ttl_propagate=True, ldp_policy=LdpPolicy.ALL_PREFIXES
+        )
+    if scenario == "backward-recursive":
+        return base.with_overrides(
+            ttl_propagate=False, ldp_policy=LdpPolicy.ALL_PREFIXES
+        )
+    if scenario == "explicit-route":
+        return base.with_overrides(
+            ttl_propagate=False, ldp_policy=LdpPolicy.LOOPBACK_ONLY
+        )
+    if scenario == "totally-invisible":
+        return base.with_overrides(
+            ttl_propagate=False,
+            ldp_policy=LdpPolicy.ALL_PREFIXES,
+            popping=PoppingMode.UHP,
+        )
+    raise ValueError(
+        f"unknown scenario {scenario!r}; known: {SCENARIOS}"
+    )
+
+
+class Gns3Testbed:
+    """A built Fig. 2 testbed with probing helpers."""
+
+    def __init__(
+        self,
+        network: Network,
+        scenario: str,
+        vendor: VendorProfile,
+    ) -> None:
+        self.network = network
+        self.scenario = scenario
+        self.vendor = vendor
+        self.control = ControlPlane(network)
+        self.engine = ForwardingEngine(network, self.control)
+        self.prober = Prober(self.engine)
+        self._names: Dict[int, str] = {}
+        for router in network.routers.values():
+            self._names[router.loopback] = f"{router.name}.lo"
+            for if_name, interface in router.interfaces.items():
+                self._names[interface.address] = (
+                    f"{router.name}.{if_name}"
+                )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def vantage_point(self) -> Router:
+        """The probing source (VP, in AS1)."""
+        return self.network.router("VP")
+
+    def address(self, name: str) -> int:
+        """Resolve ``"P3.left"`` / ``"CE2.lo"`` style names."""
+        router_name, _, if_name = name.partition(".")
+        router = self.network.router(router_name)
+        if if_name in ("", "lo"):
+            return router.loopback
+        return router.interface(if_name).address
+
+    def name_of(self, address: int) -> str:
+        """Inverse of :meth:`address` (dotted quad when unknown)."""
+        return self._names.get(address, format_address(address))
+
+    def traceroute(self, target: str, **kwargs: object) -> Trace:
+        """Paris traceroute from the VP to a named target."""
+        return self.prober.traceroute(
+            self.vantage_point, self.address(target), **kwargs
+        )
+
+    def render(self, trace: Trace) -> str:
+        """Fig. 4-style text output for ``trace``."""
+        return trace.render(self.name_of)
+
+
+def build_gns3(
+    scenario: str = "default",
+    vendor: VendorProfile = CISCO,
+    link_delay_ms: float = 1.0,
+    config: Optional[MplsConfig] = None,
+) -> Gns3Testbed:
+    """Construct the Fig. 2 topology under the given scenario.
+
+    Passing ``config`` overrides the scenario's MPLS configuration
+    entirely (used for the Table 2 grid sweep).
+    """
+    if config is None:
+        config = scenario_config(scenario, vendor)
+    network = Network()
+
+    vp = network.add_router("VP", asn=1, vendor=CISCO)
+    ce1 = network.add_router("CE1", asn=1, vendor=CISCO)
+    as2: List[Router] = [
+        network.add_router(name, asn=2, vendor=vendor, mpls=config)
+        for name in _AS2_CHAIN
+    ]
+    ce2 = network.add_router("CE2", asn=3, vendor=CISCO)
+
+    # AS1: VP behind CE1.  CE1.left faces the VP.
+    network.add_link(
+        ce1, vp, if_name_a="left", if_name_b="right",
+        delay_ms=link_delay_ms,
+    )
+    # CE1 -> PE1 (inter-AS, AS1 numbers the link).  PE1.left faces CE1.
+    network.add_link(
+        ce1, as2[0], if_name_a="right", if_name_b="left",
+        delay_ms=link_delay_ms,
+    )
+    # The AS2 chain: X.right -- Y.left.
+    for left, right in zip(as2, as2[1:]):
+        network.add_link(
+            left, right, if_name_a="right", if_name_b="left",
+            delay_ms=link_delay_ms,
+        )
+    # PE2 -> CE2 (inter-AS, AS3 numbers the link so CE2.left is an
+    # external target for AS2 — the paper's probing case).
+    network.add_link(
+        ce2, as2[-1], if_name_a="left", if_name_b="right",
+        delay_ms=link_delay_ms,
+    )
+    network.validate()
+    return Gns3Testbed(network, scenario, vendor)

@@ -1,0 +1,395 @@
+"""Synthetic Internet generator.
+
+Builds a multi-AS topology with the ingredients the measurement
+campaign needs:
+
+* a backbone of MPLS **transit ASes** instantiated from
+  :class:`~repro.synth.profiles.TransitProfile` blueprints (vendor
+  mixes, ``no-ttl-propagate``, UHP shares, core depth),
+* **stub ASes** (customers) hanging off the transits, some multihomed
+  — the source of the routing asymmetry FRPLA must tolerate,
+* **vantage points** in geographically spread stubs,
+* deterministic, seeded randomness throughout.
+
+The object exposes ground truth (address → router/AS, true paths) so
+tests can score the measurement techniques against reality.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataplane.engine import ForwardingEngine
+from repro.mpls.config import MplsConfig, PoppingMode
+from repro.net.router import Router
+from repro.net.topology import Network
+from repro.net.vendors import (
+    BROCADE,
+    CISCO,
+    JUNIPER,
+    LdpPolicy,
+    VendorProfile,
+    profile_named,
+)
+from repro.probing.prober import Prober
+from repro.routing.control import ControlPlane
+from repro.synth.profiles import TransitProfile, paper_profiles
+
+__all__ = ["InternetConfig", "SyntheticInternet", "build_internet"]
+
+_STUB_ASN_BASE = 60000
+
+
+@dataclass(frozen=True)
+class InternetConfig:
+    """Knobs for :func:`build_internet`."""
+
+    profiles: Tuple[TransitProfile, ...] = tuple(paper_profiles())
+    stubs_per_transit: int = 3
+    routers_per_stub: int = 2
+    vantage_points: int = 8
+    multihoming_share: float = 0.3  #: stubs with a second transit uplink
+    #: Share of intra-AS links with direction-dependent IGP weights —
+    #: a second source of forward/return asymmetry beyond hot potato.
+    igp_asymmetry_share: float = 0.15
+    #: Share of transit routers that never answer probes (the real
+    #: Internet's ICMP-silent hops; they become traceroute stars).
+    silent_share: float = 0.03
+    seed: int = 2017
+    intra_delay_range: Tuple[float, float] = (1.0, 8.0)
+    inter_delay_range: Tuple[float, float] = (4.0, 25.0)
+    #: Extra transit-to-transit adjacencies beyond the backbone ring.
+    extra_transit_links: int = 4
+
+
+class SyntheticInternet:
+    """A built synthetic Internet with probing and ground truth."""
+
+    def __init__(self, config: InternetConfig) -> None:
+        self.config = config
+        self.network = Network()
+        self.control = ControlPlane(self.network)
+        self.engine = ForwardingEngine(self.network, self.control)
+        self.prober = Prober(self.engine)
+        self.profiles: Dict[int, TransitProfile] = {
+            profile.asn: profile for profile in config.profiles
+        }
+        self.transit_asns: List[int] = [p.asn for p in config.profiles]
+        self.stub_asns: List[int] = []
+        self.vps: List[Router] = []
+        #: stub ASN -> transit ASNs it attaches to
+        self.stub_uplinks: Dict[int, List[int]] = {}
+        #: transit ASN -> PE names carrying backbone peerings.  Stubs
+        #: prefer the *other* PEs, mirroring the usual separation of
+        #: peering and customer-facing edges — which is also what makes
+        #: replies from customer PEs re-cross the core (and its return
+        #: tunnels) instead of short-cutting out, as Sec. 5.3 assumes.
+        self.backbone_pes: Dict[int, set] = {}
+        self._rng = random.Random(config.seed)
+
+    def customer_edge_routers(self, asn: int) -> List[Router]:
+        """PE routers without backbone peerings (customer-facing)."""
+        backbone = self.backbone_pes.get(asn, set())
+        routers = [
+            router
+            for router in self.edge_routers(asn)
+            if router.name not in backbone
+        ]
+        return routers or self.edge_routers(asn)
+
+    # ------------------------------------------------------------------
+    # Ground-truth helpers
+
+    def asn_of_address(self, address: int) -> Optional[int]:
+        """AS owning ``address`` (router ground truth, then prefix)."""
+        router = self.network.owner_of(address)
+        if router is not None:
+            return router.asn
+        return self.network.asn_of_address(address)
+
+    def router_of_address(self, address: int) -> Optional[Router]:
+        """Ground-truth owner router."""
+        return self.network.owner_of(address)
+
+    def is_transit_address(self, address: int) -> bool:
+        """True when the address belongs to an MPLS transit AS."""
+        return self.asn_of_address(address) in self.profiles
+
+    def edge_routers(self, asn: int) -> List[Router]:
+        """PE routers of a transit AS."""
+        return [
+            router
+            for router in self.network.routers_in_as(asn)
+            if router.name.split("_")[-1].startswith("PE")
+        ]
+
+    def core_routers(self, asn: int) -> List[Router]:
+        """P routers of a transit AS."""
+        return [
+            router
+            for router in self.network.routers_in_as(asn)
+            if router.name.split("_")[-1].startswith("P")
+            and not router.name.split("_")[-1].startswith("PE")
+        ]
+
+    def campaign_targets(self) -> List[int]:
+        """Destination set (the A ∪ B analogue of Sec. 4).
+
+        Stub-router *interface* addresses adjacent to transit PEs:
+        these are the addresses an ITDK-style dataset actually holds
+        (traceroute reveals incoming interfaces, not loopbacks).
+        Tracing them makes the probe transit the suspicious AS and end
+        one hop beyond its egress — exactly the ``X, Y, D`` tail the
+        post-processing keys on.
+        """
+        targets = []
+        for asn in self.stub_asns:
+            for router in self.network.routers_in_as(asn):
+                uplink = next(
+                    (
+                        interface.address
+                        for interface in router.interfaces.values()
+                        if interface.neighbor.router.asn in self.profiles
+                    ),
+                    None,
+                )
+                targets.append(
+                    uplink if uplink is not None else router.loopback
+                )
+        return targets
+
+    def true_forward_path(self, source: Router, dst: int) -> List[str]:
+        """Ground-truth router path of a data packet (TTL 255)."""
+        outcome = self.engine.send_probe(source, dst, ttl=255, flow_id=0)
+        return outcome.forward_path
+
+
+def build_internet(
+    config: Optional[InternetConfig] = None,
+) -> SyntheticInternet:
+    """Generate a synthetic Internet from ``config`` (seeded)."""
+    internet = SyntheticInternet(config or InternetConfig())
+    _build_transits(internet)
+    _interconnect_transits(internet)
+    _build_stubs(internet)
+    _pick_vantage_points(internet)
+    _silence_some_routers(internet)
+    internet.network.validate()
+    # The control plane snapshotted an empty topology at construction;
+    # re-derive adjacency and drop memoised routes now that the
+    # network is complete.
+    internet.control.invalidate()
+    return internet
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+
+
+def _vendor_for(rng: random.Random, mix: Dict[str, float]) -> VendorProfile:
+    """Seeded draw from a vendor-share mapping."""
+    names = sorted(mix)
+    weights = [mix[name] for name in names]
+    choice = rng.choices(names, weights=weights, k=1)[0]
+    return profile_named(choice)
+
+
+def _transit_mpls_config(
+    rng: random.Random, profile: TransitProfile, vendor: VendorProfile
+) -> MplsConfig:
+    """Per-router MPLS config drawn from the AS profile."""
+    propagate = rng.random() < profile.ttl_propagate_share
+    popping = (
+        PoppingMode.UHP
+        if rng.random() < profile.uhp_share
+        else PoppingMode.PHP
+    )
+    config = MplsConfig.from_vendor(
+        vendor, ttl_propagate=propagate, popping=popping
+    )
+    if profile.ldp_all_prefixes is True:
+        config = config.with_overrides(ldp_policy=LdpPolicy.ALL_PREFIXES)
+    elif profile.ldp_all_prefixes is False:
+        config = config.with_overrides(ldp_policy=LdpPolicy.LOOPBACK_ONLY)
+    return config
+
+
+def _igp_weights(
+    rng: random.Random, config: InternetConfig
+) -> Dict[str, int]:
+    """Weight kwargs for one intra-AS link, possibly asymmetric."""
+    weight = rng.randint(1, 3)
+    if rng.random() < config.igp_asymmetry_share:
+        back = rng.randint(1, 3)
+        return {"weight": weight, "weight_back": back}
+    return {"weight": weight}
+
+
+def _build_transits(internet: SyntheticInternet) -> None:
+    rng = internet._rng
+    config = internet.config
+    network = internet.network
+    for profile in config.profiles:
+        cores: List[Router] = []
+        for i in range(profile.core_size):
+            vendor = _vendor_for(rng, profile.vendor_mix)
+            cores.append(
+                network.add_router(
+                    f"AS{profile.asn}_P{i}",
+                    asn=profile.asn,
+                    vendor=vendor,
+                    mpls=_transit_mpls_config(rng, profile, vendor),
+                )
+            )
+        # Core ring + chords up to the profile's mesh degree.
+        if len(cores) > 1:
+            for i, router in enumerate(cores):
+                peer = cores[(i + 1) % len(cores)]
+                if network.routers.get(peer.name) and not router.interface_toward(peer):
+                    network.add_link(
+                        router,
+                        peer,
+                        delay_ms=rng.uniform(*config.intra_delay_range),
+                        **_igp_weights(rng, config),
+                    )
+            chords = max(0, profile.mesh_degree - 2) * len(cores) // 2
+            for _ in range(chords):
+                a, b = rng.sample(cores, 2)
+                if a.interface_toward(b) is None:
+                    network.add_link(
+                        a, b,
+                        delay_ms=rng.uniform(*config.intra_delay_range),
+                        **_igp_weights(rng, config),
+                    )
+        # Edge (PE) routers: each hangs off one or two cores.
+        for i in range(profile.edge_size):
+            vendor = _vendor_for(rng, profile.vendor_mix)
+            pe = network.add_router(
+                f"AS{profile.asn}_PE{i}",
+                asn=profile.asn,
+                vendor=vendor,
+                mpls=_transit_mpls_config(rng, profile, vendor),
+            )
+            attach_points = rng.sample(
+                cores, k=min(len(cores), 1 + (rng.random() < 0.4))
+            )
+            for core in attach_points:
+                network.add_link(
+                    pe, core,
+                    delay_ms=rng.uniform(*config.intra_delay_range),
+                    **_igp_weights(rng, config),
+                )
+
+
+def _interconnect_transits(internet: SyntheticInternet) -> None:
+    """Backbone ring over transits plus a few extra adjacencies."""
+    rng = internet._rng
+    config = internet.config
+    asns = internet.transit_asns
+    pairs = [
+        (asns[i], asns[(i + 1) % len(asns)]) for i in range(len(asns))
+    ]
+    for _ in range(config.extra_transit_links):
+        a, b = rng.sample(asns, 2)
+        if (a, b) not in pairs and (b, a) not in pairs:
+            pairs.append((a, b))
+    for a, b in pairs:
+        # Two parallel peerings per adjacency: hot-potato choices
+        # differ per ingress router, creating forward/return asymmetry.
+        for _ in range(2):
+            pe_a = rng.choice(internet.edge_routers(a))
+            pe_b = rng.choice(internet.edge_routers(b))
+            if pe_a.interface_toward(pe_b) is None:
+                internet.network.add_link(
+                    pe_a, pe_b,
+                    delay_ms=rng.uniform(*config.inter_delay_range),
+                )
+                internet.backbone_pes.setdefault(a, set()).add(pe_a.name)
+                internet.backbone_pes.setdefault(b, set()).add(pe_b.name)
+
+
+def _build_stubs(internet: SyntheticInternet) -> None:
+    rng = internet._rng
+    config = internet.config
+    network = internet.network
+    next_asn = _STUB_ASN_BASE
+    for transit_asn in internet.transit_asns:
+        for _ in range(config.stubs_per_transit):
+            asn = next_asn
+            next_asn += 1
+            internet.stub_asns.append(asn)
+            routers = []
+            for i in range(config.routers_per_stub):
+                routers.append(
+                    network.add_router(
+                        f"AS{asn}_R{i}",
+                        asn=asn,
+                        vendor=CISCO if rng.random() < 0.7 else BROCADE,
+                    )
+                )
+            for a, b in zip(routers, routers[1:]):
+                network.add_link(
+                    a, b, delay_ms=rng.uniform(*config.intra_delay_range)
+                )
+            uplinks = [transit_asn]
+            # First router uplinks to a customer-facing PE of the
+            # home transit (peering PEs carry the backbone).
+            pe = rng.choice(internet.customer_edge_routers(transit_asn))
+            network.add_link(
+                routers[0], pe,
+                delay_ms=rng.uniform(*config.inter_delay_range),
+            )
+            # Optional multihoming to a second transit.
+            if (
+                rng.random() < config.multihoming_share
+                and len(internet.transit_asns) > 1
+            ):
+                other = rng.choice(
+                    [t for t in internet.transit_asns if t != transit_asn]
+                )
+                pe2 = rng.choice(internet.customer_edge_routers(other))
+                network.add_link(
+                    routers[-1], pe2,
+                    delay_ms=rng.uniform(*config.inter_delay_range),
+                )
+                uplinks.append(other)
+            internet.stub_uplinks[asn] = uplinks
+
+
+def _silence_some_routers(internet: SyntheticInternet) -> None:
+    """Make a seeded share of transit *core* routers ICMP-silent.
+
+    Only cores: silencing a PE would erase candidate pairs wholesale,
+    while silent cores produce the realistic mid-trace stars ITDK
+    models with pseudo-addresses.
+    """
+    rng = internet._rng
+    share = internet.config.silent_share
+    if share <= 0:
+        return
+    for asn in internet.transit_asns:
+        for router in internet.core_routers(asn):
+            if rng.random() < share:
+                router.icmp_enabled = False
+
+
+def _pick_vantage_points(internet: SyntheticInternet) -> None:
+    """Spread VPs across stubs homed to different transits."""
+    rng = internet._rng
+    count = internet.config.vantage_points
+    by_home: Dict[int, List[int]] = {}
+    for asn in internet.stub_asns:
+        by_home.setdefault(internet.stub_uplinks[asn][0], []).append(asn)
+    homes = sorted(by_home)
+    picked: List[int] = []
+    index = 0
+    while len(picked) < count and any(by_home.values()):
+        home = homes[index % len(homes)]
+        index += 1
+        candidates = by_home[home]
+        if candidates:
+            picked.append(candidates.pop(rng.randrange(len(candidates))))
+    for asn in picked:
+        internet.vps.append(internet.network.routers_in_as(asn)[0])

@@ -1,0 +1,114 @@
+"""Cisco-IOS-style configuration generation.
+
+The paper ships its GNS3 configuration scripts alongside the dataset;
+this module produces the equivalent for any simulated router: hostname,
+interface addressing, OSPF, BGP peerings, and the exact MPLS knobs the
+four scenarios toggle (``mpls ip``, ``no mpls ip propagate-ttl``,
+``mpls ldp label allocate global host-routes``,
+``mpls ldp explicit-null``).  Emulation states become operator-readable
+artefacts — and the golden tests double as config-to-behaviour checks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mpls.config import PoppingMode
+from repro.net.addressing import format_address
+from repro.net.router import Router
+from repro.net.topology import Network
+from repro.net.vendors import LdpPolicy
+
+__all__ = ["router_config", "network_configs"]
+
+
+def _netmask(length: int) -> str:
+    from repro.net.addressing import Prefix
+
+    return format_address(Prefix.mask_for(length))
+
+
+def router_config(router: Router) -> str:
+    """IOS-style configuration text for one router."""
+    lines: List[str] = [
+        "!",
+        f"hostname {router.name}",
+        "!",
+    ]
+    mpls = router.mpls
+    lines.append("interface Loopback0")
+    lines.append(
+        f" ip address {format_address(router.loopback)} "
+        f"{_netmask(32)}"
+    )
+    lines.append("!")
+    for name, interface in sorted(router.interfaces.items()):
+        lines.append(f"interface GigabitEthernet{name}")
+        lines.append(
+            f" description to {interface.neighbor.router.name}"
+        )
+        lines.append(
+            f" ip address {format_address(interface.address)} "
+            f"{_netmask(interface.prefix.length)}"
+        )
+        if mpls.enabled and interface.neighbor.router.asn == router.asn:
+            lines.append(" mpls ip")
+        lines.append(" no shutdown")
+        lines.append("!")
+    # IGP: OSPF over every connected prefix.
+    lines.append(f"router ospf 1")
+    lines.append(f" router-id {format_address(router.loopback)}")
+    lines.append(
+        f" network {format_address(router.loopback)} 0.0.0.0 area 0"
+    )
+    for interface in router.interfaces.values():
+        if interface.neighbor.router.asn != router.asn:
+            continue
+        wildcard = format_address(
+            ~interface.prefix.mask & 0xFFFFFFFF
+        )
+        lines.append(
+            f" network {format_address(interface.prefix.network)} "
+            f"{wildcard} area 0"
+        )
+    lines.append("!")
+    # BGP on border routers.
+    external_peers = sorted(
+        {
+            interface.neighbor
+            for interface in router.interfaces.values()
+            if interface.neighbor.router.asn != router.asn
+        },
+        key=lambda peer: peer.router.name,
+    )
+    if external_peers:
+        lines.append(f"router bgp {router.asn}")
+        for peer in external_peers:
+            lines.append(
+                f" neighbor {format_address(peer.address)} "
+                f"remote-as {peer.router.asn}"
+            )
+        lines.append(" redistribute connected")
+        lines.append("!")
+    # The paper's MPLS knobs.
+    if mpls.enabled:
+        lines.append("mpls label protocol ldp")
+        if not mpls.ttl_propagate:
+            lines.append("no mpls ip propagate-ttl")
+        if mpls.ldp_policy is LdpPolicy.LOOPBACK_ONLY:
+            lines.append(
+                "mpls ldp label allocate global host-routes"
+            )
+        if mpls.popping is PoppingMode.UHP:
+            lines.append("mpls ldp explicit-null")
+        lines.append("!")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def network_configs(network: Network) -> dict:
+    """``{router_name: config_text}`` for the whole topology."""
+    return {
+        name: router_config(router)
+        for name, router in sorted(network.routers.items())
+    }

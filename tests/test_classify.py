@@ -1,0 +1,93 @@
+"""Unit tests for the Table 2 / Table 6 configuration matrices."""
+
+import pytest
+
+from repro.core.classify import (
+    LspVisibility,
+    expected_visibility,
+    technique_applicability,
+)
+from repro.net.vendors import LdpPolicy
+
+
+class TestExpectedVisibility:
+    def test_external_propagate_explicit(self):
+        cell = expected_visibility(
+            LdpPolicy.ALL_PREFIXES, target_internal=False,
+            ttl_propagate=True,
+        )
+        assert cell.visibility is LspVisibility.EXPLICIT
+        assert not cell.frpla_shift
+        assert not cell.rtla_gap
+
+    def test_external_no_propagate_invisible_with_shift(self):
+        cell = expected_visibility(
+            LdpPolicy.ALL_PREFIXES, target_internal=False,
+            ttl_propagate=False,
+        )
+        assert cell.visibility is LspVisibility.INVISIBLE
+        assert cell.frpla_shift
+        assert not cell.rtla_gap  # Cisco signature by default
+
+    def test_gap_needs_juniper_signature(self):
+        cisco = expected_visibility(
+            LdpPolicy.LOOPBACK_ONLY, False, False, signature=(255, 255)
+        )
+        juniper = expected_visibility(
+            LdpPolicy.LOOPBACK_ONLY, False, False, signature=(255, 64)
+        )
+        assert not cisco.rtla_gap
+        assert juniper.rtla_gap
+
+    def test_internal_targets_reveal(self):
+        brpr_cell = expected_visibility(
+            LdpPolicy.ALL_PREFIXES, True, False
+        )
+        dpr_cell = expected_visibility(
+            LdpPolicy.LOOPBACK_ONLY, True, False
+        )
+        assert brpr_cell.visibility is LspVisibility.LAST_HOP_NO_LABEL
+        assert brpr_cell.revelation == "brpr"
+        assert dpr_cell.visibility is LspVisibility.ROUTE_NO_LABEL
+        assert dpr_cell.revelation == "dpr"
+
+    def test_internal_visibility_independent_of_ttl_policy(self):
+        # Table 2: the internal-target rows show the same revelation
+        # phenomenon in both TTL columns.
+        for propagate in (True, False):
+            cell = expected_visibility(
+                LdpPolicy.ALL_PREFIXES, True, propagate
+            )
+            assert cell.visibility is LspVisibility.LAST_HOP_NO_LABEL
+
+    def test_shift_follows_ttl_policy_only(self):
+        for ldp in (LdpPolicy.ALL_PREFIXES, LdpPolicy.LOOPBACK_ONLY):
+            for internal in (True, False):
+                assert not expected_visibility(
+                    ldp, internal, True
+                ).frpla_shift
+                assert expected_visibility(
+                    ldp, internal, False
+                ).frpla_shift
+
+
+class TestTechniqueApplicability:
+    def test_cisco_row(self):
+        row = technique_applicability("cisco")
+        assert row.ldp is LdpPolicy.ALL_PREFIXES
+        assert row.frpla is True
+        assert row.rtla is False
+        assert row.dpr is False
+        assert row.brpr is True
+
+    def test_juniper_row(self):
+        row = technique_applicability("juniper")
+        assert row.ldp is LdpPolicy.LOOPBACK_ONLY
+        assert row.rtla is True
+        assert row.dpr is True
+        assert row.frpla == "partial"
+        assert row.brpr == "partial"
+
+    def test_unknown_brand(self):
+        with pytest.raises(KeyError):
+            technique_applicability("brocade")

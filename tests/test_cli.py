@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestEmulate:
+    def test_backward_recursive_transcript(self, capsys):
+        assert main(["emulate", "backward-recursive"]) == 0
+        out = capsys.readouterr().out
+        assert "PE1.left" in out
+        assert "P1.left" not in out  # tunnel hidden
+
+    def test_default_shows_labels(self, capsys):
+        main(["emulate", "default"])
+        out = capsys.readouterr().out
+        assert "MPLS Label" in out
+
+    def test_custom_target(self, capsys):
+        main(["emulate", "explicit-route", "--target", "PE2.left"])
+        out = capsys.readouterr().out
+        assert "P2.left" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["emulate", "bogus"])
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "<255, 255>" in out
+
+    def test_fig11(self, capsys):
+        assert main(["experiment", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "path length" in out.lower()
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestList:
+    def test_lists_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for identifier in EXPERIMENTS:
+            assert identifier in out
+        assert len(EXPERIMENTS) == 16  # 15 paper artefacts + graphs
+
+
+class TestCampaign:
+    def test_campaign_prints_tables_and_saves(self, capsys, tmp_path):
+        path = tmp_path / "dataset.json"
+        code = main(["campaign", "--save", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tunnels revealed" in out
+        assert "Table 4" in out
+        assert "Table 5" in out
+        document = json.loads(path.read_text())
+        assert document["schema_version"] == 1
+        assert document["traces"]
+
+
+class TestConfigs:
+    def test_single_router_config(self, capsys):
+        assert main(
+            ["configs", "totally-invisible", "--router", "PE2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hostname PE2" in out
+        assert "mpls ldp explicit-null" in out
+
+    def test_whole_testbed(self, capsys):
+        assert main(["configs", "backward-recursive"]) == 0
+        out = capsys.readouterr().out
+        assert "### PE1" in out
+        assert "### CE2" in out
+        assert "no mpls ip propagate-ttl" in out
+
+
+class TestExport:
+    def test_export_writes_csvs(self, capsys, tmp_path):
+        assert main(["export", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig07_rfa_pdf.csv" in out
+        assert (tmp_path / "fig05_ftl_pdf.csv").exists()
+
+
+class TestCampaignOptions:
+    def test_scale_flag(self, capsys):
+        assert main(
+            ["campaign", "--scale", "0.4", "--seed", "123",
+             "--vantage-points", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out

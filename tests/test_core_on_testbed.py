@@ -1,0 +1,201 @@
+"""End-to-end checks of the four techniques on the GNS3 testbed.
+
+Each technique is exercised against the scenario it targets (Table 2 /
+Table 6): BRPR on the Cisco all-prefixes config, DPR on the
+loopback-only config, RTLA on a Juniper-edge variant, FRPLA on all of
+them, and nothing on the totally-invisible UHP config.
+"""
+
+import pytest
+
+from repro.core.brpr import backward_recursive_revelation
+from repro.core.dpr import direct_path_revelation
+from repro.core.frpla import rfa_of_hop
+from repro.core.revelation import (
+    RevelationMethod,
+    candidate_endpoints,
+    reveal_tunnel,
+)
+from repro.core.rtla import RtlaAnalyzer
+from repro.core.signatures import SignatureInventory
+from repro.net.vendors import JUNIPER
+from repro.synth.gns3 import build_gns3
+
+
+@pytest.fixture(scope="module")
+def backward():
+    return build_gns3("backward-recursive")
+
+
+@pytest.fixture(scope="module")
+def explicit_route():
+    return build_gns3("explicit-route")
+
+
+@pytest.fixture(scope="module")
+def invisible():
+    return build_gns3("totally-invisible")
+
+
+class TestCandidateSelection:
+    def test_candidates_are_the_ler_pair(self, backward):
+        trace = backward.traceroute("CE2.left")
+        pair = candidate_endpoints(trace)
+        assert pair == (
+            backward.address("PE1.left"),
+            backward.address("PE2.left"),
+        )
+
+    def test_no_candidates_when_destination_unreached(self, backward):
+        trace = backward.traceroute("CE2.left", max_ttl=2)
+        assert candidate_endpoints(trace) is None
+
+
+class TestBrpr:
+    def test_reveals_all_three_lsrs_in_order(self, backward):
+        result = backward_recursive_revelation(
+            backward.prober,
+            backward.vantage_point,
+            ingress=backward.address("PE1.left"),
+            egress=backward.address("PE2.left"),
+        )
+        assert result.success
+        names = [backward.name_of(a) for a in result.revealed]
+        assert names == ["P1.left", "P2.left", "P3.left"]
+
+    def test_no_labels_during_recursion(self, backward):
+        result = backward_recursive_revelation(
+            backward.prober,
+            backward.vantage_point,
+            ingress=backward.address("PE1.left"),
+            egress=backward.address("PE2.left"),
+        )
+        assert not any(step.labels_seen for step in result.steps)
+
+    def test_combined_pipeline_classifies_brpr(self, backward):
+        revelation = reveal_tunnel(
+            backward.prober,
+            backward.vantage_point,
+            ingress=backward.address("PE1.left"),
+            egress=backward.address("PE2.left"),
+        )
+        assert revelation.method is RevelationMethod.BRPR
+        assert revelation.tunnel_length == 3
+        assert revelation.step_reveals == [1, 1, 1]
+
+
+class TestDpr:
+    def test_reveals_whole_lsp_in_one_trace(self, explicit_route):
+        result = direct_path_revelation(
+            explicit_route.prober,
+            explicit_route.vantage_point,
+            ingress=explicit_route.address("PE1.left"),
+            egress=explicit_route.address("PE2.left"),
+        )
+        assert result.success
+        names = [explicit_route.name_of(a) for a in result.revealed]
+        assert names == ["P1.left", "P2.left", "P3.left"]
+        assert not result.labels_seen
+
+    def test_combined_pipeline_classifies_dpr(self, explicit_route):
+        revelation = reveal_tunnel(
+            explicit_route.prober,
+            explicit_route.vantage_point,
+            ingress=explicit_route.address("PE1.left"),
+            egress=explicit_route.address("PE2.left"),
+        )
+        assert revelation.method is RevelationMethod.DPR
+        assert revelation.tunnel_length == 3
+        assert revelation.step_reveals == [3]
+
+
+class TestTotallyInvisible:
+    def test_nothing_revealed_under_uhp(self, invisible):
+        trace = invisible.traceroute("CE2.left")
+        pair = candidate_endpoints(trace)
+        # PE2 is hidden entirely: candidates are PE1 and CE2 itself.
+        assert pair is not None
+        revelation = reveal_tunnel(
+            invisible.prober, invisible.vantage_point, *pair
+        )
+        assert revelation.method is RevelationMethod.NONE
+        assert not revelation.success
+
+
+class TestFrpla:
+    def test_rfa_baseline_zero_without_tunnel(self):
+        testbed = build_gns3("default")
+        trace = testbed.traceroute("CE2.left")
+        for hop in trace.hops[:-1]:  # last hop is the echo-reply
+            sample = rfa_of_hop(hop)
+            if sample is None:
+                continue
+            # LSR replies detour via the tunnel end; skip labelled hops.
+            if hop.has_labels:
+                continue
+            assert sample.rfa == 0, testbed.name_of(hop.address)
+
+    def test_rfa_shift_equals_hidden_hop_count(self, backward):
+        trace = backward.traceroute("CE2.left")
+        egress_hop = trace.hop_of(backward.address("PE2.left"))
+        sample = rfa_of_hop(egress_hop)
+        assert sample.rfa == 3  # the three hidden LSRs
+
+    def test_no_rfa_shift_under_uhp(self, invisible):
+        # Under UHP no time-exceeded ever leaves the MPLS AS, so the
+        # only usable hops are outside it — all with baseline RFA —
+        # and the destination's echo-reply shows (almost) no deficit:
+        # the min rule never ran on the return tunnel.
+        trace = invisible.traceroute("CE2.left")
+        te_samples = [
+            rfa_of_hop(hop) for hop in trace.hops if rfa_of_hop(hop)
+        ]
+        assert all(sample.rfa == 0 for sample in te_samples)
+        final = trace.hops[-1]
+        assert final.reply_kind == "echo-reply"
+        return_length = 255 - final.reply_ttl + 1
+        # 3 hidden LSRs + hidden egress: a PHP tunnel would show +4;
+        # UHP leaks at most the egress's own decrement.
+        assert return_length - final.probe_ttl <= 1
+
+
+class TestRtla:
+    @pytest.fixture(scope="class")
+    def juniper_backward(self):
+        return build_gns3("backward-recursive", vendor=JUNIPER)
+
+    def test_gap_equals_return_tunnel_length(self, juniper_backward):
+        testbed = juniper_backward
+        analyzer = RtlaAnalyzer()
+        analyzer.add_trace(testbed.traceroute("CE2.left"))
+        analyzer.add_ping(
+            testbed.prober.ping(
+                testbed.vantage_point, testbed.address("PE2.left")
+            )
+        )
+        estimate = analyzer.estimate(testbed.address("PE2.left"))
+        assert estimate is not None
+        assert estimate.tunnel_length == 3
+
+    def test_rtla_refuses_cisco_signature(self, backward):
+        analyzer = RtlaAnalyzer()
+        analyzer.add_trace(backward.traceroute("CE2.left"))
+        analyzer.add_ping(
+            backward.prober.ping(
+                backward.vantage_point, backward.address("PE2.left")
+            )
+        )
+        assert analyzer.estimate(backward.address("PE2.left")) is None
+
+    def test_signature_inference(self, juniper_backward):
+        testbed = juniper_backward
+        inventory = SignatureInventory()
+        inventory.observe_trace(testbed.traceroute("CE2.left"))
+        inventory.observe_ping(
+            testbed.prober.ping(
+                testbed.vantage_point, testbed.address("PE2.left")
+            )
+        )
+        signature = inventory.signature(testbed.address("PE2.left"))
+        assert signature.pair == (255, 64)
+        assert signature.brand == "juniper"

@@ -1,0 +1,165 @@
+"""Unit and property tests for the statistics toolkit."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.distributions import (
+    Distribution,
+    looks_centered,
+    normal_pdf,
+)
+
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBasics:
+    def test_empty_raises(self):
+        empty = Distribution()
+        with pytest.raises(ValueError):
+            _ = empty.mean
+        with pytest.raises(ValueError):
+            _ = empty.median
+        with pytest.raises(ValueError):
+            empty.percentile(50)
+        with pytest.raises(ValueError):
+            empty.mode()
+
+    def test_mean_median(self):
+        dist = Distribution([1, 2, 3, 4])
+        assert dist.mean == 2.5
+        assert dist.median == 2.5
+        dist.add(5)
+        assert dist.median == 3
+
+    def test_min_max(self):
+        dist = Distribution([3, -1, 7])
+        assert dist.min == -1
+        assert dist.max == 7
+
+    def test_stddev(self):
+        assert Distribution([5]).stddev == 0.0
+        dist = Distribution([2, 4, 4, 4, 5, 5, 7, 9])
+        assert dist.stddev == pytest.approx(2.0)
+
+    def test_percentiles(self):
+        dist = Distribution(range(101))
+        assert dist.percentile(0) == 0
+        assert dist.percentile(50) == 50
+        assert dist.percentile(100) == 100
+        assert dist.percentile(25) == 25
+
+    def test_percentile_range_check(self):
+        with pytest.raises(ValueError):
+            Distribution([1]).percentile(101)
+
+    def test_mode_tie_breaks_smallest(self):
+        assert Distribution([3, 1, 3, 1, 2]).mode() == 1
+
+    def test_fraction(self):
+        dist = Distribution([-2, -1, 0, 1, 2])
+        assert dist.fraction(lambda v: v > 0) == pytest.approx(0.4)
+        assert Distribution().fraction(lambda v: True) == 0.0
+
+
+class TestHistogramPdf:
+    def test_pdf_sums_to_one(self):
+        dist = Distribution([1, 1, 2, 3])
+        assert sum(dist.pdf().values()) == pytest.approx(1.0)
+        assert dist.pdf()[1] == pytest.approx(0.5)
+
+    def test_pdf_points_sorted(self):
+        points = Distribution([3, 1, 2, 1]).pdf_points()
+        assert [value for value, _ in points] == [1, 2, 3]
+
+    def test_histogram_bins(self):
+        dist = Distribution([0, 1, 2, 3, 4, 5])
+        bins = dist.histogram([0, 2, 4, 5])
+        assert [count for _, _, count in bins] == [2, 2, 2]
+
+    def test_histogram_needs_two_edges(self):
+        with pytest.raises(ValueError):
+            Distribution([1]).histogram([0])
+
+    def test_counts(self):
+        assert Distribution([1, 1, 2]).counts() == {1: 2, 2: 1}
+
+
+class TestAddAfterRead:
+    def test_cache_invalidation(self):
+        dist = Distribution([5])
+        assert dist.median == 5
+        dist.add(1)
+        dist.extend([2, 3])
+        assert dist.median == 2.5
+
+
+class TestHelpers:
+    def test_normal_pdf_peak_at_mu(self):
+        assert normal_pdf(0, 0, 1) > normal_pdf(1, 0, 1)
+        assert normal_pdf(0, 0, 1) == pytest.approx(
+            1 / math.sqrt(2 * math.pi)
+        )
+
+    def test_normal_pdf_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            normal_pdf(0, 0, 0)
+
+    def test_looks_centered(self):
+        assert looks_centered(Distribution([-1, 0, 1]))
+        assert not looks_centered(Distribution([4, 5, 6]))
+        assert not looks_centered(Distribution())
+
+
+class TestProperties:
+    @given(st.lists(floats, min_size=1, max_size=200))
+    def test_median_between_min_and_max(self, values):
+        dist = Distribution(values)
+        assert dist.min <= dist.median <= dist.max
+
+    @given(st.lists(floats, min_size=1, max_size=200))
+    def test_percentile_monotone(self, values):
+        dist = Distribution(values)
+        previous = dist.percentile(0)
+        for q in (10, 25, 50, 75, 90, 100):
+            current = dist.percentile(q)
+            assert current >= previous - 1e-9
+            previous = current
+
+    @given(st.lists(floats, min_size=1, max_size=200))
+    def test_mean_bounded(self, values):
+        dist = Distribution(values)
+        assert dist.min - 1e-6 <= dist.mean <= dist.max + 1e-6
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=100))
+    def test_pdf_total_probability(self, values):
+        assert sum(Distribution(values).pdf().values()) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.integers(-50, 50), min_size=1, max_size=100),
+        st.integers(-50, 50),
+    )
+    def test_adding_extreme_shifts_max(self, values, extra):
+        dist = Distribution(values)
+        old_max = dist.max
+        dist.add(extra)
+        assert dist.max == max(old_max, extra)
+
+
+class TestCdf:
+    def test_cdf_reaches_one(self):
+        dist = Distribution([1, 2, 2, 3])
+        points = dist.cdf_points()
+        assert points[-1][1] == pytest.approx(1.0)
+        assert points[0] == (1, pytest.approx(0.25))
+
+    def test_cdf_monotone(self):
+        dist = Distribution([5, 1, 3, 3, 2])
+        values = [p for _, p in dist.cdf_points()]
+        assert values == sorted(values)
+
+    def test_cdf_empty(self):
+        assert Distribution().cdf_points() == []

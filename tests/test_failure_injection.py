@@ -1,0 +1,173 @@
+"""Failure-injection robustness tests.
+
+The paper's techniques must degrade gracefully when routers are
+silent, rate limited, or RFC 4950-deaf.  These tests inject each
+failure into the testbed/Internet and check both the degradation and
+the absence of false revelations.
+"""
+
+import pytest
+
+from repro.campaign.orchestrator import Campaign, CampaignConfig
+from repro.core.revelation import RevelationMethod, reveal_tunnel
+from repro.synth.failures import (
+    disable_rfc4950,
+    pick_routers,
+    rate_limit_routers,
+    restore,
+    silence_routers,
+)
+from repro.synth.gns3 import build_gns3
+from repro.synth.internet import InternetConfig, build_internet
+from repro.synth.profiles import paper_profiles
+
+
+def small_internet(seed=11):
+    return build_internet(
+        InternetConfig(
+            profiles=tuple(paper_profiles(0.5)),
+            vantage_points=4,
+            stubs_per_transit=2,
+            seed=seed,
+        )
+    )
+
+
+class TestPickers:
+    def test_fraction_validation(self):
+        internet = small_internet()
+        with pytest.raises(ValueError):
+            pick_routers(internet.network, 1.5, seed=1)
+
+    def test_seeded_sampling_is_deterministic(self):
+        internet = small_internet()
+        a = pick_routers(internet.network, 0.3, seed=5)
+        b = pick_routers(internet.network, 0.3, seed=5)
+        assert [r.name for r in a] == [r.name for r in b]
+
+    def test_asn_restriction(self):
+        internet = small_internet()
+        routers = pick_routers(
+            internet.network, 1.0, seed=1, asns=[3257]
+        )
+        assert routers
+        assert all(router.asn == 3257 for router in routers)
+
+    def test_restore(self):
+        internet = small_internet()
+        routers = silence_routers(internet.network, 0.2, seed=3)
+        assert all(not router.icmp_enabled for router in routers)
+        restore(routers)
+        assert all(router.icmp_enabled for router in routers)
+
+
+class TestRateLimiting:
+    def test_rate_zero_means_silent(self):
+        testbed = build_gns3("backward-recursive")
+        rate_limit_routers(testbed.network, rate=0.0, asns=[2])
+        trace = testbed.traceroute("CE2.left")
+        names = [h.responder_router for h in trace.responsive_hops]
+        assert "PE1" not in names and "PE2" not in names
+
+    def test_rate_one_means_normal(self):
+        testbed = build_gns3("backward-recursive")
+        rate_limit_routers(testbed.network, rate=1.0, asns=[2])
+        trace = testbed.traceroute("CE2.left")
+        assert trace.destination_reached
+
+    def test_partial_rate_drops_some_probes(self):
+        internet = small_internet()
+        rate_limit_routers(
+            internet.network, rate=0.5, asns=internet.transit_asns,
+            seed=2,
+        )
+        vp = internet.vps[0]
+        responses = 0
+        probes = 0
+        for dst in internet.campaign_targets()[:10]:
+            trace = internet.prober.traceroute(vp, dst)
+            probes += len(trace.hops)
+            responses += len(trace.responsive_hops)
+        assert 0 < responses < probes
+
+    def test_rate_validation(self):
+        internet = small_internet()
+        with pytest.raises(ValueError):
+            rate_limit_routers(internet.network, rate=2.0)
+
+
+class TestSilenceImpactOnRevelation:
+    def test_silent_core_blocks_brpr_without_false_positives(self):
+        testbed = build_gns3("backward-recursive")
+        testbed.network.router("P2").icmp_enabled = False
+        revelation = reveal_tunnel(
+            testbed.prober,
+            testbed.vantage_point,
+            ingress=testbed.address("PE1.left"),
+            egress=testbed.address("PE2.left"),
+        )
+        # P3 is still revealed; the recursion then hits silence and
+        # stops — partial but never wrong.
+        assert revelation.tunnel_length <= 3
+        for address in revelation.revealed:
+            owner = testbed.network.owner_of(address)
+            assert owner is not None and owner.asn == 2
+
+    def test_silent_egress_kills_candidate_pair(self):
+        testbed = build_gns3("backward-recursive")
+        testbed.network.router("PE2").icmp_enabled = False
+        trace = testbed.traceroute("CE2.left")
+        from repro.core.revelation import candidate_endpoints
+
+        pair = candidate_endpoints(trace)
+        # PE2's silence leaves a star before CE2: no candidate pair.
+        assert pair is None
+
+
+class TestRfc4950Failure:
+    def test_explicit_tunnel_loses_labels(self):
+        testbed = build_gns3("default")
+        disable_rfc4950(testbed.network, fraction=1.0, asns=[2])
+        trace = testbed.traceroute("CE2.left")
+        assert not trace.contains_labels()
+        # The LSRs still answer (ttl-propagate): path is complete.
+        names = [h.responder_router for h in trace.responsive_hops]
+        assert "P1" in names
+
+    def test_crossval_misses_unquoted_tunnels(self):
+        from repro.campaign.crossval import extract_explicit_tunnels
+
+        testbed = build_gns3("default")
+        disable_rfc4950(testbed.network, fraction=1.0, asns=[2])
+        traces = [testbed.traceroute("CE2.left")]
+        tunnels = extract_explicit_tunnels(
+            traces, testbed.network.asn_of_address
+        )
+        assert tunnels == []  # no label run -> no explicit tunnel
+
+
+class TestCampaignUnderFailures:
+    def test_campaign_survives_mixed_failures(self):
+        internet = small_internet(seed=23)
+        silence_routers(
+            internet.network, 0.05, seed=1, asns=internet.transit_asns
+        )
+        rate_limit_routers(
+            internet.network, rate=0.9, fraction=0.3, seed=2,
+            asns=internet.transit_asns,
+        )
+        campaign = Campaign(
+            internet.prober,
+            internet.vps,
+            internet.asn_of_address,
+            CampaignConfig(
+                suspicious_asns=tuple(internet.transit_asns)
+            ),
+        )
+        result = campaign.run(internet.campaign_targets())
+        assert result.traces
+        # Revelations may shrink but never fabricate hops.
+        for (x, _), revelation in result.revelations.items():
+            asn = internet.asn_of_address(x)
+            for address in revelation.revealed:
+                assert internet.asn_of_address(address) == asn

@@ -1,0 +1,240 @@
+"""Golden tests: the emulated testbed must reproduce Fig. 4 *exactly*.
+
+The paper prints the full paris-traceroute output — responding hop,
+quoted MPLS labels, and the return IP-TTL observed at the vantage point
+— for four MPLS configurations on the Fig. 2 topology.  These values
+pin down the entire TTL mechanic of the dataplane, so we assert them
+verbatim.
+"""
+
+import pytest
+
+from repro.synth.gns3 import build_gns3
+
+
+def hops(testbed, target, **kwargs):
+    """[(name, return_ttl, has_labels)] for a trace from the VP."""
+    trace = testbed.traceroute(target, **kwargs)
+    return [
+        (testbed.name_of(h.address), h.reply_ttl, h.has_labels)
+        for h in trace.hops
+        if h.responded
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4a — Default configuration: explicit tunnel.
+
+
+class TestDefaultConfiguration:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        return build_gns3("default")
+
+    def test_trace_to_ce2_matches_fig4a(self, testbed):
+        assert hops(testbed, "CE2.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("P1.left", 247, True),
+            ("P2.left", 248, True),
+            ("P3.left", 251, True),
+            ("PE2.left", 250, False),
+            ("CE2.left", 249, False),
+        ]
+
+    def test_lsrs_quote_label_ttl_1(self, testbed):
+        trace = testbed.traceroute("CE2.left")
+        quoted = [h.quoted_labels for h in trace.hops if h.has_labels]
+        assert len(quoted) == 3
+        for stack in quoted:
+            assert len(stack) == 1
+            label, lse_ttl = stack[0]
+            assert lse_ttl == 1
+            assert label >= 16
+
+    def test_consecutive_downstream_labels(self, testbed):
+        # LDP allocates downstream: P1, P2, P3 advertise successive
+        # labels for the same FEC (paper shows 19, 20, 21).
+        trace = testbed.traceroute("CE2.left")
+        labels = [h.quoted_labels[0][0] for h in trace.hops if h.has_labels]
+        assert labels == sorted(labels)
+        assert labels[1] == labels[0] + 1
+        assert labels[2] == labels[1] + 1
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4b — Backward Recursive configuration (no-ttl-propagate).
+
+
+class TestBackwardRecursiveConfiguration:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        return build_gns3("backward-recursive")
+
+    def test_trace_to_ce2_tunnel_invisible(self, testbed):
+        assert hops(testbed, "CE2.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("PE2.left", 250, False),
+            ("CE2.left", 250, False),
+        ]
+
+    def test_trace_to_pe2_reveals_p3(self, testbed):
+        assert hops(testbed, "PE2.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("P3.left", 251, False),
+            ("PE2.left", 250, False),
+        ]
+
+    def test_trace_to_p3_reveals_p2(self, testbed):
+        assert hops(testbed, "P3.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("P2.left", 252, False),
+            ("P3.left", 251, False),
+        ]
+
+    def test_trace_to_p2_reveals_p1(self, testbed):
+        assert hops(testbed, "P2.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("P1.left", 253, False),
+            ("P2.left", 252, False),
+        ]
+
+    def test_trace_to_p1_recursion_stops(self, testbed):
+        assert hops(testbed, "P1.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("P1.left", 253, False),
+        ]
+
+    def test_no_labels_anywhere(self, testbed):
+        for target in ("CE2.left", "PE2.left", "P3.left", "P2.left"):
+            assert not testbed.traceroute(target).contains_labels()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4c — Explicit Route configuration (loopback-only LDP).
+
+
+class TestExplicitRouteConfiguration:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        return build_gns3("explicit-route")
+
+    def test_trace_to_ce2_tunnel_invisible(self, testbed):
+        assert hops(testbed, "CE2.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("PE2.left", 250, False),
+            ("CE2.left", 250, False),
+        ]
+
+    def test_trace_to_pe2_reveals_whole_path(self, testbed):
+        assert hops(testbed, "PE2.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("P1.left", 253, False),
+            ("P2.left", 252, False),
+            ("P3.left", 251, False),
+            ("PE2.left", 250, False),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4d — Totally Invisible configuration (UHP + no-ttl-propagate).
+
+
+class TestTotallyInvisibleConfiguration:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        return build_gns3("totally-invisible")
+
+    def test_trace_to_ce2_pe2_hidden(self, testbed):
+        assert hops(testbed, "CE2.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("CE2.left", 252, False),
+        ]
+
+    def test_trace_to_pe2_reveals_nothing(self, testbed):
+        assert hops(testbed, "PE2.left") == [
+            ("CE1.left", 255, False),
+            ("PE1.left", 254, False),
+            ("PE2.left", 253, False),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Return-TTL side channel (Sec. 3.1): the shift FRPLA exploits.
+
+
+class TestReturnTtlSideChannel:
+    def test_return_path_length_includes_tunnel_hops(self):
+        # In the invisible (PHP) case PE2 appears at forward hop 3 but
+        # its time-exceeded comes back with TTL 250: a 5-hop return
+        # path, which includes the 3 hidden LSRs + PE1 + CE1.
+        testbed = build_gns3("backward-recursive")
+        trace = testbed.traceroute("CE2.left")
+        pe2 = trace.hop_of(testbed.address("PE2.left"))
+        assert pe2.probe_ttl == 3
+        assert 255 - pe2.reply_ttl == 5
+
+    def test_uhp_return_tunnel_leaves_no_shift(self):
+        # With UHP the min rule never runs, so the return path looks
+        # only 3 hops long — no FRPLA signal (Table 2, right column).
+        testbed = build_gns3("totally-invisible")
+        trace = testbed.traceroute("PE2.left")
+        pe2 = trace.hop_of(testbed.address("PE2.left"))
+        assert 255 - pe2.reply_ttl == 2
+
+
+class TestUhpGridExtension:
+    """Beyond Table 2's PHP premise: the UHP column, emulated.
+
+    With propagation, UHP tunnels stay explicit via LSE expiry; without
+    it, neither FRPLA's shift nor RTLA's gap survives (Sec. 3.4).
+    """
+
+    def test_uhp_with_propagation_keeps_lsp_explicit(self):
+        from repro.mpls.config import MplsConfig, PoppingMode
+        from repro.net.vendors import CISCO
+
+        config = MplsConfig.from_vendor(
+            CISCO, ttl_propagate=True, popping=PoppingMode.UHP
+        )
+        testbed = build_gns3(config=config)
+        trace = testbed.traceroute("CE2.left")
+        names = [h.responder_router for h in trace.responsive_hops]
+        assert names == ["CE1", "PE1", "P1", "P2", "P3", "PE2", "CE2"]
+        assert trace.contains_labels()
+
+    def test_uhp_without_propagation_no_shift_no_gap(self):
+        from repro.core.frpla import rfa_of_hop
+        from repro.core.rtla import RtlaAnalyzer
+        from repro.mpls.config import MplsConfig, PoppingMode
+        from repro.net.vendors import JUNIPER
+
+        config = MplsConfig.from_vendor(
+            JUNIPER, ttl_propagate=False, popping=PoppingMode.UHP
+        )
+        testbed = build_gns3(vendor=JUNIPER, config=config)
+        trace = testbed.traceroute("CE2.left")
+        # Even the Juniper signature cannot rescue RTLA under UHP.
+        analyzer = RtlaAnalyzer()
+        analyzer.add_trace(trace)
+        analyzer.add_ping(
+            testbed.prober.ping(
+                testbed.vantage_point, testbed.address("PE2.left")
+            )
+        )
+        estimate = analyzer.estimate(testbed.address("PE2.left"))
+        assert estimate is None or estimate.tunnel_length <= 0
+        shifts = [
+            rfa_of_hop(h).rfa
+            for h in trace.hops
+            if rfa_of_hop(h) is not None
+        ]
+        assert all(shift <= 1 for shift in shifts)

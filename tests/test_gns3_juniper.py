@@ -1,0 +1,101 @@
+"""The Juniper variant of the Fig. 2 testbed.
+
+The paper: "We also analyzed a similar Juniper testbed, except for the
+UHP case which is not available for LDP on Junos."  Junos differences
+that must show up in emulation: the `<255, 64>` signature, loopback-
+only LDP by default (DPR territory), and the RTLA gap.
+"""
+
+import pytest
+
+from repro.core.dpr import direct_path_revelation
+from repro.core.rtla import RtlaAnalyzer
+from repro.core.signatures import SignatureInventory
+from repro.mpls.config import MplsConfig
+from repro.net.vendors import JUNIPER, LdpPolicy
+from repro.synth.gns3 import build_gns3, scenario_config
+
+
+class TestJuniperDefaults:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        # Junos defaults: loopback-only LDP; hide tunnels explicitly.
+        config = MplsConfig.from_vendor(JUNIPER, ttl_propagate=False)
+        return build_gns3(vendor=JUNIPER, config=config)
+
+    def test_default_policy_is_loopback_only(self):
+        config = MplsConfig.from_vendor(JUNIPER)
+        assert config.ldp_policy is LdpPolicy.LOOPBACK_ONLY
+
+    def test_forward_tunnel_invisible(self, testbed):
+        trace = testbed.traceroute("CE2.left")
+        names = [h.responder_router for h in trace.responsive_hops]
+        assert names == ["CE1", "PE1", "PE2", "CE2"]
+
+    def test_dpr_reveals_content(self, testbed):
+        result = direct_path_revelation(
+            testbed.prober,
+            testbed.vantage_point,
+            ingress=testbed.address("PE1.left"),
+            egress=testbed.address("PE2.left"),
+        )
+        assert result.success
+        assert [testbed.name_of(a) for a in result.revealed] == [
+            "P1.left", "P2.left", "P3.left",
+        ]
+
+    def test_signature_is_255_64(self, testbed):
+        inventory = SignatureInventory()
+        inventory.observe_trace(testbed.traceroute("CE2.left"))
+        inventory.observe_ping(
+            testbed.prober.ping(
+                testbed.vantage_point, testbed.address("PE2.left")
+            )
+        )
+        signature = inventory.signature(testbed.address("PE2.left"))
+        assert signature.pair == (255, 64)
+        assert signature.rtla_capable
+
+    def test_rtla_gap_measures_return_tunnel(self, testbed):
+        analyzer = RtlaAnalyzer()
+        analyzer.add_trace(testbed.traceroute("CE2.left"))
+        analyzer.add_ping(
+            testbed.prober.ping(
+                testbed.vantage_point, testbed.address("PE2.left")
+            )
+        )
+        estimate = analyzer.estimate(testbed.address("PE2.left"))
+        assert estimate is not None
+        assert estimate.tunnel_length == 3
+
+    def test_echo_reply_ttls_are_64_based(self, testbed):
+        ping = testbed.prober.ping(
+            testbed.vantage_point, testbed.address("PE2.left")
+        )
+        assert ping.responded
+        assert ping.reply_ttl <= 64
+
+
+class TestJuniperScenarioSweep:
+    def test_backward_recursive_with_juniper_edges(self):
+        # Forcing all-prefixes on Junos (operators can) restores BRPR.
+        testbed = build_gns3("backward-recursive", vendor=JUNIPER)
+        from repro.core.brpr import backward_recursive_revelation
+
+        result = backward_recursive_revelation(
+            testbed.prober,
+            testbed.vantage_point,
+            ingress=testbed.address("PE1.left"),
+            egress=testbed.address("PE2.left"),
+        )
+        assert result.success
+        assert len(result.revealed) == 3
+
+    def test_default_scenario_explicit_labels(self):
+        testbed = build_gns3("default", vendor=JUNIPER)
+        trace = testbed.traceroute("CE2.left")
+        assert trace.contains_labels()
+
+    def test_scenario_config_unknown_name(self):
+        with pytest.raises(ValueError):
+            scenario_config("not-a-scenario")

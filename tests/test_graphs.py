@@ -1,0 +1,155 @@
+"""Tests for aggregate graph metrics and star pseudo-nodes."""
+
+import pytest
+
+from repro.analysis.graphs import (
+    average_clustering,
+    bfs_distances,
+    connected_components,
+    shortest_path_stats,
+    summarize_graph,
+)
+from repro.analysis.itdk import TraceGraph
+from repro.probing.prober import Trace, TraceHop
+
+
+def chain_graph(n):
+    graph = TraceGraph()
+    graph.add_path(list(range(1, n + 1)))
+    return graph
+
+
+def node(i):
+    from repro.net.addressing import format_address
+
+    return f"ip_{format_address(i)}"
+
+
+class TestBfs:
+    def test_distances_on_chain(self):
+        graph = chain_graph(5)
+        distances = bfs_distances(graph, node(1))
+        assert distances[node(5)] == 4
+        assert distances[node(1)] == 0
+
+    def test_unreachable_not_listed(self):
+        graph = chain_graph(3)
+        graph.add_edge_addresses(100, 101)
+        distances = bfs_distances(graph, node(1))
+        assert node(100) not in distances
+
+
+class TestComponents:
+    def test_two_components(self):
+        graph = chain_graph(4)
+        graph.add_edge_addresses(100, 101)
+        components = connected_components(graph)
+        assert len(components) == 2
+        assert len(components[0]) == 4  # largest first
+
+    def test_empty_graph(self):
+        assert connected_components(TraceGraph()) == []
+
+
+class TestShortestPaths:
+    def test_chain_stats(self):
+        graph = chain_graph(4)
+        lengths, diameter = shortest_path_stats(graph)
+        assert diameter == 3
+        # Ordered pairs: 2*(3*1 + 2*... ) — just check the mean sanity.
+        assert lengths.min == 1
+        assert lengths.max == 3
+
+    def test_sampled_sources(self):
+        graph = chain_graph(5)
+        lengths, diameter = shortest_path_stats(graph, [node(1)])
+        assert len(lengths) == 4
+        assert diameter == 4
+
+
+class TestClustering:
+    def test_triangle(self):
+        graph = TraceGraph()
+        graph.add_path([1, 2, 3, 1])
+        assert average_clustering(graph) == 1.0
+
+    def test_chain_has_none(self):
+        assert average_clustering(chain_graph(4)) == 0.0
+
+    def test_empty(self):
+        assert average_clustering(TraceGraph()) == 0.0
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        graph = chain_graph(4)
+        summary = summarize_graph(graph)
+        assert summary.node_count == 4
+        assert summary.edge_count == 3
+        assert summary.diameter == 3
+        assert summary.components == 1
+        assert summary.max_degree == 2
+        assert len(summary.as_row()) == 9
+
+    def test_correction_shrinks_density(self):
+        # A fake invisible mesh: one ingress adjacent to 4 egresses.
+        graph = TraceGraph()
+        for egress in (2, 3, 4, 5):
+            graph.add_edge_addresses(1, egress)
+        dense = summarize_graph(graph)
+        from repro.analysis.correction import corrected_graph
+        from repro.core.revelation import Revelation, RevelationMethod
+
+        revelations = []
+        for egress in (2, 3, 4, 5):
+            revelation = Revelation(ingress=1, egress=egress)
+            revelation.revealed = [50]
+            revelation.step_reveals = [1]
+            revelation.method = RevelationMethod.DPR_OR_BRPR
+            revelations.append(revelation)
+        sparse = summarize_graph(corrected_graph(graph, revelations))
+        assert sparse.density < dense.density
+        assert sparse.mean_path_length > dense.mean_path_length
+
+
+class TestStarNodes:
+    def _trace_with_star(self):
+        trace = Trace(source="vp", source_address=0, dst=3, flow_id=1)
+        trace.hops.append(
+            TraceHop(probe_ttl=1, address=1, reply_kind="time-exceeded",
+                     reply_ttl=250)
+        )
+        trace.hops.append(TraceHop(probe_ttl=2, address=None))
+        trace.hops.append(
+            TraceHop(probe_ttl=3, address=3, reply_kind="echo-reply",
+                     reply_ttl=250)
+        )
+        trace.destination_reached = True
+        return trace
+
+    def test_star_creates_pseudo_node(self):
+        graph = TraceGraph(star_nodes=True)
+        graph.add_trace(self._trace_with_star())
+        assert any(n.startswith("star_") for n in graph.nodes())
+        # The chain is connected through the pseudo node.
+        assert len(connected_components(graph)) == 1
+
+    def test_without_star_nodes_gap_remains(self):
+        graph = TraceGraph()
+        graph.add_trace(self._trace_with_star())
+        assert len(connected_components(graph)) == 2
+
+    def test_distinct_stars_per_occurrence(self):
+        graph = TraceGraph(star_nodes=True)
+        graph.add_trace(self._trace_with_star())
+        graph.add_trace(self._trace_with_star())
+        stars = [n for n in graph.nodes() if n.startswith("star_")]
+        assert len(stars) == 2  # never aliased together
+
+    def test_prune_pseudo_nodes(self):
+        graph = TraceGraph(star_nodes=True)
+        graph.add_trace(self._trace_with_star())
+        removed = graph.prune_pseudo_nodes()
+        assert removed == 1
+        assert not any(n.startswith("star_") for n in graph.nodes())
+        assert len(connected_components(graph)) == 2

@@ -1,0 +1,94 @@
+"""Integration test for the two-phase HDN-driven campaign (Sec. 4)."""
+
+import pytest
+
+from repro.campaign.hdn_driven import run_hdn_driven_campaign
+from repro.synth.internet import InternetConfig, build_internet
+from repro.synth.profiles import paper_profiles
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    internet = build_internet(
+        InternetConfig(
+            profiles=tuple(paper_profiles(0.8)),
+            vantage_points=6,
+            stubs_per_transit=4,
+            seed=2016,
+        )
+    )
+    result = run_hdn_driven_campaign(
+        prober=internet.prober,
+        vantage_points=internet.vps,
+        bootstrap_targets=internet.campaign_targets(),
+        asn_of=internet.asn_of_address,
+        hdn_threshold=6,
+        alias_of=lambda a: (
+            internet.router_of_address(a).name
+            if internet.router_of_address(a)
+            else None
+        ),
+        restrict_to_asns=internet.transit_asns,
+    )
+    return internet, result
+
+
+class TestHdnDrivenCampaign:
+    def test_bootstrap_builds_graph(self, outcome):
+        _, result = outcome
+        assert result.bootstrap_traces
+        assert len(result.bootstrap_graph) > 20
+
+    def test_hdns_are_transit_routers(self, outcome):
+        internet, result = outcome
+        assert result.hdn_count >= 1
+        for hdn in result.selection.hdns:
+            asn = result.bootstrap_graph.asn_of_node(hdn)
+            assert asn in internet.profiles
+
+    def test_targets_surround_hdns(self, outcome):
+        _, result = outcome
+        selection = result.selection
+        assert selection.destinations
+        # Sets A and B never contain the HDNs themselves.
+        assert not (set(selection.hdns) & selection.target_nodes)
+
+    def test_focused_campaign_reveals_tunnels(self, outcome):
+        internet, result = outcome
+        campaign = result.campaign
+        assert campaign is not None
+        assert campaign.pairs, "HDN filter left no candidate pairs"
+        # Every pair's endpoints carry HDN addresses by construction.
+        hdn_addresses = result.selection.hdn_addresses
+        for pair in campaign.pairs:
+            assert pair.ingress in hdn_addresses
+            assert pair.egress in hdn_addresses
+        assert campaign.successful_revelations()
+
+    def test_revealed_content_is_genuine(self, outcome):
+        internet, result = outcome
+        for revelation in result.campaign.successful_revelations():
+            asn = internet.asn_of_address(revelation.ingress)
+            for address in revelation.revealed:
+                assert internet.asn_of_address(address) == asn
+
+
+class TestDegenerateInputs:
+    def test_huge_threshold_short_circuits(self):
+        internet = build_internet(
+            InternetConfig(
+                profiles=tuple(paper_profiles(0.4)),
+                vantage_points=2,
+                stubs_per_transit=2,
+                seed=3,
+            )
+        )
+        result = run_hdn_driven_campaign(
+            prober=internet.prober,
+            vantage_points=internet.vps,
+            bootstrap_targets=internet.campaign_targets()[:6],
+            asn_of=internet.asn_of_address,
+            hdn_threshold=10_000,
+        )
+        assert result.hdn_count == 0
+        assert result.campaign is None

@@ -1,0 +1,209 @@
+"""Tests for the synthetic Internet generator."""
+
+import pytest
+
+from repro.mpls.config import PoppingMode
+from repro.net.vendors import LdpPolicy
+from repro.synth.internet import InternetConfig, build_internet
+from repro.synth.profiles import (
+    PAPER_PROFILES,
+    SURVEY,
+    TransitProfile,
+    paper_profiles,
+)
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return build_internet(
+        InternetConfig(
+            profiles=tuple(paper_profiles(0.5)),
+            vantage_points=4,
+            stubs_per_transit=2,
+            seed=42,
+        )
+    )
+
+
+class TestProfiles:
+    def test_ten_paper_ases(self):
+        assert len(PAPER_PROFILES) == 10
+        asns = {p.asn for p in PAPER_PROFILES}
+        assert {3491, 4134, 2856, 3320, 6762, 209, 1299, 3549, 9498,
+                3257} == asns
+
+    def test_vendor_mixes_are_distributions(self):
+        for profile in PAPER_PROFILES:
+            assert sum(profile.vendor_mix.values()) == pytest.approx(1.0)
+
+    def test_scaling_keeps_minimums(self):
+        tiny = paper_profiles(0.01)
+        for profile in tiny:
+            assert profile.core_size >= 2
+            assert profile.edge_size >= 3
+
+    def test_scaling_preserves_overrides(self):
+        by_asn = {p.asn: p for p in paper_profiles(0.5)}
+        assert by_asn[3491].ldp_all_prefixes is True
+        assert by_asn[2856].uhp_share == 1.0
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            paper_profiles(0)
+
+    def test_survey_constants(self):
+        assert SURVEY["mpls_deployment"] == 0.87
+        assert SURVEY["no_ttl_propagate"] == 0.48
+        assert SURVEY["uhp"] == 0.10
+
+    def test_dominant_vendor(self):
+        profile = TransitProfile(
+            asn=1, name="x", vendor_mix={"cisco": 0.7, "juniper": 0.3},
+            core_size=2, edge_size=3,
+        )
+        assert profile.dominant_vendor() == "cisco"
+
+
+class TestTopologyInvariants:
+    def test_structure_counts(self, internet):
+        assert len(internet.transit_asns) == 10
+        assert len(internet.stub_asns) == 20
+        assert len(internet.vps) == 4
+        internet.network.validate()
+
+    def test_transit_routers_run_mpls(self, internet):
+        for asn in internet.transit_asns:
+            for router in internet.network.routers_in_as(asn):
+                assert router.mpls.enabled
+
+    def test_stub_routers_do_not(self, internet):
+        for asn in internet.stub_asns:
+            for router in internet.network.routers_in_as(asn):
+                assert not router.mpls.enabled
+
+    def test_edge_and_core_partition(self, internet):
+        for asn in internet.transit_asns:
+            routers = set(internet.network.routers_in_as(asn))
+            split = set(internet.edge_routers(asn)) | set(
+                internet.core_routers(asn)
+            )
+            assert split == routers
+
+    def test_uhp_profile_applied(self, internet):
+        for router in internet.network.routers_in_as(2856):
+            assert router.mpls.popping is PoppingMode.UHP
+
+    def test_ldp_override_applied(self, internet):
+        for router in internet.network.routers_in_as(3491):
+            assert router.mpls.ldp_policy is LdpPolicy.ALL_PREFIXES
+
+    def test_every_stub_reaches_a_transit(self, internet):
+        for asn in internet.stub_asns:
+            uplinks = internet.stub_uplinks[asn]
+            assert uplinks
+            assert all(u in internet.profiles for u in uplinks)
+
+    def test_vps_in_distinct_stubs(self, internet):
+        assert len({vp.asn for vp in internet.vps}) == len(internet.vps)
+
+    def test_campaign_targets_are_observable_addresses(self, internet):
+        targets = internet.campaign_targets()
+        assert targets
+        for target in targets:
+            owner = internet.router_of_address(target)
+            assert owner is not None
+            assert owner.asn in internet.stub_asns
+
+    def test_asn_of_address_ground_truth(self, internet):
+        for asn in internet.transit_asns[:2]:
+            for router in internet.network.routers_in_as(asn)[:3]:
+                assert internet.asn_of_address(router.loopback) == asn
+
+    def test_full_reachability_between_vps(self, internet):
+        source = internet.vps[0]
+        for vp in internet.vps[1:]:
+            outcome = internet.engine.send_probe(
+                source, vp.loopback, ttl=255, flow_id=0
+            )
+            assert outcome.reply_kind == "echo-reply"
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        config = InternetConfig(
+            profiles=tuple(paper_profiles(0.4)),
+            vantage_points=3,
+            stubs_per_transit=2,
+            seed=99,
+        )
+        a = build_internet(config)
+        b = build_internet(config)
+        assert sorted(a.network.routers) == sorted(b.network.routers)
+        assert [str(l.prefix) for l in a.network.links] == [
+            str(l.prefix) for l in b.network.links
+        ]
+        assert [vp.name for vp in a.vps] == [vp.name for vp in b.vps]
+
+    def test_different_seed_different_wiring(self):
+        base = InternetConfig(
+            profiles=tuple(paper_profiles(0.4)),
+            vantage_points=3,
+            stubs_per_transit=2,
+            seed=1,
+        )
+        other = InternetConfig(
+            profiles=tuple(paper_profiles(0.4)),
+            vantage_points=3,
+            stubs_per_transit=2,
+            seed=2,
+        )
+        a = build_internet(base)
+        b = build_internet(other)
+        links_a = {tuple(r.name for r in l.routers) for l in a.network.links}
+        links_b = {tuple(r.name for r in l.routers) for l in b.network.links}
+        assert links_a != links_b
+
+    def test_probing_is_deterministic(self):
+        config = InternetConfig(
+            profiles=tuple(paper_profiles(0.4)),
+            vantage_points=3,
+            stubs_per_transit=2,
+            seed=5,
+        )
+        a = build_internet(config)
+        b = build_internet(config)
+        dst_a = a.campaign_targets()[0]
+        dst_b = b.campaign_targets()[0]
+        trace_a = a.prober.traceroute(a.vps[0], dst_a, flow_id=9)
+        trace_b = b.prober.traceroute(b.vps[0], dst_b, flow_id=9)
+        assert trace_a.addresses == trace_b.addresses
+        assert [h.reply_ttl for h in trace_a.hops] == [
+            h.reply_ttl for h in trace_b.hops
+        ]
+
+
+class TestRandomProfilesFollowSurvey:
+    def test_shares_converge_to_survey(self):
+        from repro.synth.profiles import random_profiles
+
+        profiles = random_profiles(400, seed=7)
+        hides = sum(
+            1 for p in profiles if p.ttl_propagate_share == 0.0
+        ) / len(profiles)
+        uhp = sum(1 for p in profiles if p.uhp_share > 0) / len(profiles)
+        mixed = sum(
+            1 for p in profiles if len(p.vendor_mix) > 1
+        ) / len(profiles)
+        assert abs(hides - SURVEY["no_ttl_propagate"]) < 0.08
+        assert abs(uhp - SURVEY["uhp"]) < 0.05
+        assert abs(mixed - SURVEY["mixed_hardware"]) < 0.08
+
+    def test_random_profiles_validation(self):
+        from repro.synth.profiles import random_profiles
+
+        with pytest.raises(ValueError):
+            random_profiles(0)
+        profiles = random_profiles(5, seed=1)
+        assert len({p.asn for p in profiles}) == 5
+        for profile in profiles:
+            assert sum(profile.vendor_mix.values()) == pytest.approx(1.0)

@@ -1,0 +1,115 @@
+"""Tests for IOS-style configuration generation."""
+
+import pytest
+
+from repro.net.addressing import format_address
+from repro.synth.gns3 import build_gns3
+from repro.synth.ios_config import network_configs, router_config
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {
+        name: build_gns3(name)
+        for name in (
+            "default",
+            "backward-recursive",
+            "explicit-route",
+            "totally-invisible",
+        )
+    }
+
+
+class TestMplsKnobs:
+    def test_default_has_plain_ldp(self, scenarios):
+        config = router_config(scenarios["default"].network.router("PE1"))
+        assert "mpls label protocol ldp" in config
+        assert "no mpls ip propagate-ttl" not in config
+        assert "host-routes" not in config
+        assert "explicit-null" not in config
+
+    def test_backward_recursive_disables_propagation(self, scenarios):
+        config = router_config(
+            scenarios["backward-recursive"].network.router("PE1")
+        )
+        assert "no mpls ip propagate-ttl" in config
+
+    def test_explicit_route_filters_ldp(self, scenarios):
+        config = router_config(
+            scenarios["explicit-route"].network.router("P2")
+        )
+        assert "mpls ldp label allocate global host-routes" in config
+        assert "no mpls ip propagate-ttl" in config
+
+    def test_totally_invisible_uses_explicit_null(self, scenarios):
+        config = router_config(
+            scenarios["totally-invisible"].network.router("PE2")
+        )
+        assert "mpls ldp explicit-null" in config
+
+    def test_non_mpls_router_has_no_mpls_lines(self, scenarios):
+        config = router_config(scenarios["default"].network.router("CE1"))
+        assert "mpls" not in config
+
+
+class TestStructure:
+    def test_hostname_and_loopback(self, scenarios):
+        testbed = scenarios["default"]
+        router = testbed.network.router("P1")
+        config = router_config(router)
+        assert f"hostname P1" in config
+        assert format_address(router.loopback) in config
+        assert "interface Loopback0" in config
+
+    def test_interfaces_listed_with_neighbors(self, scenarios):
+        testbed = scenarios["default"]
+        config = router_config(testbed.network.router("P2"))
+        assert "description to P1" in config
+        assert "description to P3" in config
+
+    def test_intra_as_interfaces_run_mpls(self, scenarios):
+        testbed = scenarios["default"]
+        config = router_config(testbed.network.router("PE1"))
+        # The CE1-facing interface is inter-AS: no "mpls ip" there.
+        blocks = config.split("interface ")
+        ce_block = next(b for b in blocks if "description to CE1" in b)
+        p_block = next(b for b in blocks if "description to P1" in b)
+        assert " mpls ip" not in ce_block
+        assert " mpls ip" in p_block
+
+    def test_ospf_covers_loopback_and_links(self, scenarios):
+        testbed = scenarios["default"]
+        router = testbed.network.router("P1")
+        config = router_config(router)
+        assert "router ospf 1" in config
+        assert (
+            f"network {format_address(router.loopback)} 0.0.0.0 area 0"
+            in config
+        )
+
+    def test_bgp_only_on_borders(self, scenarios):
+        testbed = scenarios["default"]
+        assert "router bgp 2" in router_config(
+            testbed.network.router("PE1")
+        )
+        assert "router bgp" not in router_config(
+            testbed.network.router("P2")
+        )
+
+    def test_bgp_peering_addresses(self, scenarios):
+        testbed = scenarios["default"]
+        pe1 = testbed.network.router("PE1")
+        ce1 = testbed.network.router("CE1")
+        config = router_config(pe1)
+        peer_address = ce1.incoming_address_from(pe1)
+        assert (
+            f"neighbor {format_address(peer_address)} remote-as 1"
+            in config
+        )
+
+    def test_network_configs_cover_everything(self, scenarios):
+        testbed = scenarios["default"]
+        configs = network_configs(testbed.network)
+        assert set(configs) == set(testbed.network.routers)
+        for text in configs.values():
+            assert text.endswith("end")

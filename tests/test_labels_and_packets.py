@@ -1,0 +1,118 @@
+"""Unit and property tests for MPLS label stacks and the packet model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataplane.packet import (
+    ECHO_REPLY,
+    ECHO_REQUEST,
+    TIME_EXCEEDED,
+    Packet,
+)
+from repro.mpls.labels import (
+    EXPLICIT_NULL,
+    FIRST_UNRESERVED_LABEL,
+    IMPLICIT_NULL,
+    LabelAllocator,
+    LabelStackEntry,
+)
+from repro.net.addressing import Prefix
+
+
+class TestLabelStackEntry:
+    def test_encode_known_value(self):
+        # label=3 (implicit null), tc=0, bottom=1, ttl=255
+        entry = LabelStackEntry(IMPLICIT_NULL, ttl=255)
+        assert entry.encode() == (3 << 12) | (1 << 8) | 255
+
+    def test_decode_inverse(self):
+        entry = LabelStackEntry(19, ttl=1, bottom=True, tc=5)
+        assert LabelStackEntry.decode(entry.encode()) == entry
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LabelStackEntry(1 << 20, ttl=1)
+        with pytest.raises(ValueError):
+            LabelStackEntry(1, ttl=256)
+        with pytest.raises(ValueError):
+            LabelStackEntry(1, ttl=1, tc=8)
+        with pytest.raises(ValueError):
+            LabelStackEntry.decode(1 << 32)
+
+    def test_copy_is_independent(self):
+        entry = LabelStackEntry(19, ttl=10)
+        clone = entry.copy()
+        clone.ttl -= 1
+        assert entry.ttl == 10
+
+    def test_as_tuple(self):
+        assert LabelStackEntry(21, ttl=1).as_tuple() == (21, 1)
+
+    @given(
+        st.integers(0, (1 << 20) - 1),
+        st.integers(0, 255),
+        st.booleans(),
+        st.integers(0, 7),
+    )
+    def test_roundtrip_property(self, label, ttl, bottom, tc):
+        entry = LabelStackEntry(label, ttl=ttl, bottom=bottom, tc=tc)
+        decoded = LabelStackEntry.decode(entry.encode())
+        assert (decoded.label, decoded.ttl, decoded.bottom, decoded.tc) == (
+            label, ttl, bottom, tc,
+        )
+
+
+class TestLabelAllocator:
+    def test_sequential_from_16(self):
+        allocator = LabelAllocator()
+        fec = Prefix.parse("10.0.0.0/30")
+        assert allocator.binding("r1", fec) == FIRST_UNRESERVED_LABEL
+        assert allocator.binding("r2", fec) == FIRST_UNRESERVED_LABEL + 1
+
+    def test_stable_per_router_fec(self):
+        allocator = LabelAllocator()
+        fec = Prefix.parse("10.0.0.0/30")
+        first = allocator.binding("r1", fec)
+        assert allocator.binding("r1", fec) == first
+        assert len(allocator) == 1
+
+    def test_distinct_fecs_get_distinct_labels(self):
+        allocator = LabelAllocator()
+        a = allocator.binding("r1", Prefix.parse("10.0.0.0/30"))
+        b = allocator.binding("r1", Prefix.parse("10.0.0.4/30"))
+        assert a != b
+
+
+class TestPacket:
+    def test_push_pop_tracks_fec(self):
+        packet = Packet(src=1, dst=2, ip_ttl=64, kind=ECHO_REQUEST)
+        fec = Prefix.parse("10.0.0.0/30")
+        packet.push(LabelStackEntry(19, ttl=255), fec)
+        assert packet.labeled
+        assert packet.fec == fec
+        assert packet.top.bottom  # first entry is bottom of stack
+        popped = packet.pop()
+        assert popped.label == 19
+        assert not packet.labeled
+        assert packet.fec is None
+
+    def test_nested_push_marks_bottom_correctly(self):
+        packet = Packet(src=1, dst=2, ip_ttl=64, kind=ECHO_REQUEST)
+        fec_a = Prefix.parse("10.0.0.0/30")
+        fec_b = Prefix.parse("10.0.0.4/30")
+        packet.push(LabelStackEntry(19, ttl=255), fec_a)
+        packet.push(LabelStackEntry(20, ttl=255), fec_b)
+        assert not packet.top.bottom
+        assert packet.fec == fec_b
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Packet(src=1, dst=2, ip_ttl=64, kind="redirect")
+
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(ValueError):
+            Packet(src=1, dst=2, ip_ttl=256, kind=ECHO_REPLY)
+
+    def test_valid_kinds(self):
+        for kind in (ECHO_REQUEST, ECHO_REPLY, TIME_EXCEEDED):
+            Packet(src=1, dst=2, ip_ttl=1, kind=kind)

@@ -1,0 +1,143 @@
+"""Fidelity tests for specific claims made in the paper's prose.
+
+Each test pins one sentence of the paper to observable simulator
+behaviour — the long tail of small claims beyond the tables/figures.
+"""
+
+import pytest
+
+from repro.campaign.orchestrator import Campaign, CampaignConfig
+from repro.core.revelation import candidate_endpoints, reveal_tunnel
+from repro.dataplane.engine import ForwardingEngine
+from repro.mpls.config import MplsConfig
+from repro.net.topology import Network
+from repro.net.vendors import CISCO
+from repro.probing.prober import Prober
+from repro.synth.gns3 import build_gns3
+
+
+def two_invisible_ases():
+    """VP | AS2 (invisible) | AS3 (invisible) | stub AS4."""
+    network = Network()
+    config = MplsConfig.from_vendor(CISCO, ttl_propagate=False)
+    vp = network.add_router("VP", asn=1)
+    as2 = [
+        network.add_router(f"A{i}", asn=2, mpls=config) for i in range(4)
+    ]
+    as3 = [
+        network.add_router(f"B{i}", asn=3, mpls=config) for i in range(4)
+    ]
+    dst = network.add_router("DST", asn=4)
+    network.add_link(vp, as2[0])
+    for a, b in zip(as2, as2[1:]):
+        network.add_link(a, b)
+    network.add_link(as2[-1], as3[0])
+    for a, b in zip(as3, as3[1:]):
+        network.add_link(a, b)
+    network.add_link(dst, as3[-1])  # customer numbers the uplink
+    return network, vp, dst
+
+
+class TestMultipleTunnelLimitation:
+    """Sec. 7: "when a trace goes through several invisible tunnels,
+    our current set of techniques only reveal the last one"."""
+
+    def test_only_last_tunnel_pair_extracted(self):
+        network, vp, dst = two_invisible_ases()
+        prober = Prober(ForwardingEngine(network))
+        target = dst.incoming_address_from(network.router("B3"))
+        trace = prober.traceroute(vp, target)
+        pair = candidate_endpoints(trace)
+        assert pair is not None
+        ingress, egress = pair
+        # The extracted candidates sit in AS3 — the *last* tunnel.
+        assert network.owner_of(ingress).asn == 3
+        assert network.owner_of(egress).asn == 3
+
+    def test_last_tunnel_revealed_first_still_hidden(self):
+        network, vp, dst = two_invisible_ases()
+        prober = Prober(ForwardingEngine(network))
+        target = dst.incoming_address_from(network.router("B3"))
+        trace = prober.traceroute(vp, target)
+        ingress, egress = candidate_endpoints(trace)
+        revelation = reveal_tunnel(prober, vp, ingress, egress)
+        assert revelation.success
+        revealed_asns = {
+            network.owner_of(a).asn for a in revelation.revealed
+        }
+        assert revealed_asns == {3}
+        # AS2's hidden LSRs (A1, A2) stay hidden in this pass.
+        revealed_names = {
+            network.owner_of(a).name for a in revelation.revealed
+        }
+        assert not revealed_names & {"A1", "A2"}
+
+
+class TestShortTunnelStatement:
+    """Sec. 5.1 footnote 12: one-LSR tunnels are where DPR and BRPR
+    become indistinguishable — and Fig. 5 calls them out separately."""
+
+    def test_single_lsr_tunnel_is_ambiguous(self):
+        network = Network()
+        config = MplsConfig.from_vendor(CISCO, ttl_propagate=False)
+        vp = network.add_router("VP", asn=1)
+        ingress = network.add_router("IN", asn=2, mpls=config)
+        lsr = network.add_router("LSR", asn=2, mpls=config)
+        egress = network.add_router("OUT", asn=2, mpls=config)
+        dst = network.add_router("DST", asn=3)
+        network.add_link(vp, ingress)
+        network.add_link(ingress, lsr)
+        network.add_link(lsr, egress)
+        network.add_link(dst, egress)
+        prober = Prober(ForwardingEngine(network))
+        target = dst.incoming_address_from(egress)
+        trace = prober.traceroute(vp, target)
+        pair = candidate_endpoints(trace)
+        revelation = reveal_tunnel(prober, vp, *pair)
+        assert revelation.tunnel_length == 1
+        assert revelation.method.value == "dpr-or-brpr"
+
+
+class TestTimeExceededDetour:
+    """Sec. 3.3: "time-exceeded messages generated inside a tunnel are
+    first forwarded to the end of the tunnel" — the reason P1 and P2
+    show return TTLs 247/248 in Fig. 4a."""
+
+    def test_mid_tunnel_replies_take_the_detour(self):
+        testbed = build_gns3("default")
+        trace = testbed.traceroute("CE2.left")
+        p1 = trace.hop_of(testbed.address("P1.left"))
+        p2 = trace.hop_of(testbed.address("P2.left"))
+        p3 = trace.hop_of(testbed.address("P3.left"))
+        # P1 sits *closer* than P2 yet returns a *smaller* TTL: its
+        # reply detoured further down the LSP.
+        assert p1.probe_ttl < p2.probe_ttl
+        assert p1.reply_ttl < p2.reply_ttl
+        # P3 is the LH: it pops locally and replies directly, so its
+        # reply TTL jumps back up.
+        assert p3.reply_ttl > p2.reply_ttl
+
+
+class TestIngressNeighborsAllEgresses:
+    """Sec. 1: "an entry point of an MPLS network appears as the
+    neighbor of all exit points"."""
+
+    def test_false_adjacency_mesh(self):
+        from repro.analysis.itdk import TraceGraph
+        from repro.experiments.common import campaign_context
+
+        context = campaign_context()
+        graph = TraceGraph(context.alias_of, context.asn_of)
+        graph.add_traces(context.result.traces)
+        # Pick the ingress with the most pairs; each of its egresses
+        # must appear as a direct neighbour in the trace graph.
+        by_ingress = {}
+        for pair in context.result.pairs:
+            by_ingress.setdefault(pair.ingress, []).append(pair.egress)
+        ingress, egresses = max(
+            by_ingress.items(), key=lambda kv: len(kv[1])
+        )
+        node = graph.node_of(ingress)
+        neighbors = graph.neighbors(node)
+        for egress in egresses:
+            assert graph.node_of(egress) in neighbors

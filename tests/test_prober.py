@@ -1,0 +1,171 @@
+"""Unit tests for the scamper-like prober (traceroute/ping)."""
+
+import pytest
+
+from repro.dataplane.engine import ForwardingEngine
+from repro.net.topology import Network
+from repro.net.vendors import CISCO
+from repro.probing.prober import Prober
+from repro.synth.gns3 import build_gns3
+
+
+def build_chain(length=6):
+    network = Network()
+    routers = [
+        network.add_router(f"R{i}", asn=1, vendor=CISCO)
+        for i in range(length)
+    ]
+    for a, b in zip(routers, routers[1:]):
+        network.add_link(a, b)
+    return network, routers
+
+
+class TestTraceroute:
+    def test_full_trace(self):
+        network, routers = build_chain(5)
+        prober = Prober(ForwardingEngine(network))
+        trace = prober.traceroute(routers[0], routers[4].loopback)
+        assert trace.destination_reached
+        assert trace.forward_length == 4
+        assert [h.probe_ttl for h in trace.hops] == [1, 2, 3, 4]
+
+    def test_start_ttl_skips_first_hops(self):
+        network, routers = build_chain(5)
+        prober = Prober(ForwardingEngine(network))
+        trace = prober.traceroute(
+            routers[0], routers[4].loopback, start_ttl=3
+        )
+        assert trace.hops[0].probe_ttl == 3
+        assert trace.destination_reached
+
+    def test_gap_limit_stops_probing(self):
+        network, routers = build_chain(8)
+        for router in routers[2:6]:
+            router.icmp_enabled = False
+        prober = Prober(ForwardingEngine(network), gap_limit=3)
+        trace = prober.traceroute(routers[0], routers[7].loopback)
+        assert not trace.destination_reached
+        # Stops after 3 consecutive stars: hop 1 answers, then R2–R4
+        # are silent and the gap limit trips.
+        assert len(trace.hops) == 4
+        assert trace.hops[-1].address is None
+
+    def test_gap_resets_on_response(self):
+        network, routers = build_chain(8)
+        routers[2].icmp_enabled = False
+        routers[4].icmp_enabled = False
+        prober = Prober(ForwardingEngine(network), gap_limit=3)
+        trace = prober.traceroute(routers[0], routers[7].loopback)
+        assert trace.destination_reached
+        stars = [h for h in trace.hops if not h.responded]
+        assert len(stars) == 2
+
+    def test_max_ttl_bound(self):
+        network, routers = build_chain(8)
+        prober = Prober(ForwardingEngine(network))
+        trace = prober.traceroute(
+            routers[0], routers[7].loopback, max_ttl=3
+        )
+        assert not trace.destination_reached
+        assert len(trace.hops) == 3
+
+    def test_flow_id_distinct_per_trace(self):
+        network, routers = build_chain(3)
+        prober = Prober(ForwardingEngine(network))
+        t1 = prober.traceroute(routers[0], routers[2].loopback)
+        t2 = prober.traceroute(routers[0], routers[2].loopback)
+        assert t1.flow_id != t2.flow_id
+
+    def test_paris_same_flow_same_path(self):
+        # ECMP square: R0 -> {A, B} -> R3; one trace takes one branch.
+        network = Network()
+        r0 = network.add_router("R0", asn=1)
+        a = network.add_router("A", asn=1)
+        b = network.add_router("B", asn=1)
+        r3 = network.add_router("R3", asn=1)
+        tail = network.add_router("T", asn=1)
+        network.add_link(r0, a)
+        network.add_link(r0, b)
+        network.add_link(a, r3)
+        network.add_link(b, r3)
+        network.add_link(r3, tail)
+        prober = Prober(ForwardingEngine(network))
+        for flow in range(1, 6):
+            trace = prober.traceroute(
+                r0, tail.loopback, flow_id=flow
+            )
+            middles = {
+                h.responder_router for h in trace.hops[:1]
+            }
+            # Exactly one branch per trace, never both.
+            assert len(middles) == 1
+
+    def test_ecmp_branches_vary_across_flows(self):
+        network = Network()
+        r0 = network.add_router("R0", asn=1)
+        a = network.add_router("A", asn=1)
+        b = network.add_router("B", asn=1)
+        r3 = network.add_router("R3", asn=1)
+        network.add_link(r0, a)
+        network.add_link(r0, b)
+        network.add_link(a, r3)
+        network.add_link(b, r3)
+        prober = Prober(ForwardingEngine(network))
+        first_hops = set()
+        for flow in range(1, 30):
+            trace = prober.traceroute(r0, r3.loopback, flow_id=flow)
+            first_hops.add(trace.hops[0].responder_router)
+        assert first_hops == {"A", "B"}
+
+    def test_probe_accounting(self):
+        network, routers = build_chain(4)
+        prober = Prober(ForwardingEngine(network))
+        prober.traceroute(routers[0], routers[3].loopback)
+        assert prober.probes_sent == 3
+        prober.ping(routers[0], routers[3].loopback)
+        assert prober.probes_sent == 4
+
+
+class TestPing:
+    def test_ping_success(self):
+        network, routers = build_chain(4)
+        prober = Prober(ForwardingEngine(network))
+        result = prober.ping(routers[0], routers[3].loopback)
+        assert result.responded
+        assert result.reply_kind == "echo-reply"
+        assert result.source == "R0"
+        assert result.reply_ttl == 253  # Cisco 255 minus two transit hops
+
+    def test_ping_silent_target(self):
+        network, routers = build_chain(3)
+        routers[2].icmp_enabled = False
+        prober = Prober(ForwardingEngine(network))
+        result = prober.ping(routers[0], routers[2].loopback)
+        assert not result.responded
+        assert result.reply_ttl is None
+
+
+class TestTraceAccessors:
+    def test_hop_of_and_last_responsive(self):
+        testbed = build_gns3("backward-recursive")
+        trace = testbed.traceroute("CE2.left")
+        assert trace.hop_of(testbed.address("PE1.left")).probe_ttl == 2
+        assert trace.hop_of(0xDEADBEEF) is None
+        tail = trace.last_responsive(2)
+        assert [testbed.name_of(h.address) for h in tail] == [
+            "PE2.left", "CE2.left",
+        ]
+
+    def test_render_contains_return_ttls(self):
+        testbed = build_gns3("default")
+        trace = testbed.traceroute("CE2.left")
+        text = testbed.render(trace)
+        assert "[247]" in text
+        assert "MPLS Label" in text
+
+    def test_render_star_for_silent_hop(self):
+        network, routers = build_chain(4)
+        routers[1].icmp_enabled = False
+        prober = Prober(ForwardingEngine(network))
+        trace = prober.traceroute(routers[0], routers[3].loopback)
+        assert "*" in trace.render()

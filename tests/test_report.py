@@ -1,0 +1,51 @@
+"""Tests for the campaign report generator."""
+
+import pytest
+
+from repro.campaign.report import render_report
+from repro.cli import main
+from repro.experiments.common import ContextConfig, campaign_context
+
+
+@pytest.fixture(scope="module")
+def context():
+    return campaign_context(ContextConfig())
+
+
+class TestRenderReport:
+    def test_sections_present(self, context):
+        text = render_report(
+            context.result, context.aggregator, frpla=context.frpla
+        )
+        assert "# Invisible MPLS tunnel campaign report" in text
+        assert "## Campaign volume" in text
+        assert "## Revelation methods" in text
+        assert "## Per-AS summary" in text
+        assert "tunnels revealed" in text
+
+    def test_as_names_used(self, context):
+        names = {3257: "Tinet Spa"}
+        text = render_report(
+            context.result, context.aggregator, as_names=names
+        )
+        assert "Tinet Spa (3257)" in text
+
+    def test_every_candidate_as_listed(self, context):
+        text = render_report(context.result, context.aggregator)
+        for asn in context.aggregator.asns():
+            assert str(asn) in text
+
+    def test_custom_title(self, context):
+        text = render_report(
+            context.result, context.aggregator, title="My run"
+        )
+        assert text.startswith("# My run")
+
+
+class TestCliReport:
+    def test_campaign_report_flag(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        assert main(["campaign", "--report", str(path)]) == 0
+        content = path.read_text()
+        assert "## Per-AS summary" in content
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,160 @@
+"""Unit tests for the combined revelation pipeline and its helpers."""
+
+import pytest
+
+from repro.core.revelation import (
+    Revelation,
+    RevelationMethod,
+    TunnelAwareTraceroute,
+    _classify,
+    candidate_endpoints,
+    reveal_tunnel,
+)
+from repro.probing.prober import Trace, TraceHop
+from repro.synth.gns3 import build_gns3
+
+
+def hop(ttl, address, kind="time-exceeded", reply_ttl=250):
+    return TraceHop(
+        probe_ttl=ttl, address=address, reply_kind=kind, reply_ttl=reply_ttl
+    )
+
+
+def make_trace(addresses, dst=None, reached=True, start_ttl=1):
+    dst = dst if dst is not None else addresses[-1]
+    trace = Trace(source="vp", source_address=0, dst=dst, flow_id=1)
+    for offset, address in enumerate(addresses):
+        kind = (
+            "echo-reply"
+            if reached and offset == len(addresses) - 1
+            else "time-exceeded"
+        )
+        trace.hops.append(hop(start_ttl + offset, address, kind=kind))
+    trace.destination_reached = reached
+    return trace
+
+
+class TestCandidateEndpoints:
+    def test_classic_tail(self):
+        trace = make_trace([10, 20, 30, 40])
+        assert candidate_endpoints(trace) == (20, 30)
+
+    def test_requires_destination(self):
+        trace = make_trace([10, 20, 30, 40], reached=False)
+        assert candidate_endpoints(trace) is None
+
+    def test_requires_three_hops(self):
+        trace = make_trace([10, 20])
+        assert candidate_endpoints(trace) is None
+
+    def test_requires_consecutive_ttls(self):
+        trace = make_trace([10, 20, 30, 40])
+        trace.hops[2].probe_ttl += 1  # a star between Y and D
+        trace.hops[3].probe_ttl += 1
+        assert candidate_endpoints(trace) is None
+
+    def test_destination_must_be_last(self):
+        trace = make_trace([10, 20, 30, 40], dst=99)
+        assert candidate_endpoints(trace) is None
+
+
+class TestClassification:
+    def _revelation(self, step_reveals):
+        revelation = Revelation(ingress=1, egress=2)
+        revelation.step_reveals = list(step_reveals)
+        revelation.revealed = list(range(sum(step_reveals)))
+        return revelation
+
+    def test_none(self):
+        assert _classify(self._revelation([])) is RevelationMethod.NONE
+
+    def test_single_hop_ambiguous(self):
+        assert (
+            _classify(self._revelation([1]))
+            is RevelationMethod.DPR_OR_BRPR
+        )
+
+    def test_pure_dpr(self):
+        assert _classify(self._revelation([3])) is RevelationMethod.DPR
+
+    def test_pure_brpr(self):
+        assert (
+            _classify(self._revelation([1, 1, 1]))
+            is RevelationMethod.BRPR
+        )
+
+    def test_hybrid(self):
+        assert (
+            _classify(self._revelation([2, 1]))
+            is RevelationMethod.HYBRID
+        )
+
+
+class TestRevealTunnelOnTestbed:
+    def test_max_steps_caps_recursion(self):
+        testbed = build_gns3("backward-recursive")
+        revelation = reveal_tunnel(
+            testbed.prober,
+            testbed.vantage_point,
+            ingress=testbed.address("PE1.left"),
+            egress=testbed.address("PE2.left"),
+            max_steps=2,
+        )
+        # Two traces reveal P3 then P2; P1 stays hidden.
+        assert revelation.tunnel_length == 2
+        assert revelation.traces_used == 2
+
+    def test_unrevealable_pair_counts_probes(self):
+        testbed = build_gns3("totally-invisible")
+        revelation = reveal_tunnel(
+            testbed.prober,
+            testbed.vantage_point,
+            ingress=testbed.address("PE1.left"),
+            egress=testbed.address("CE2.left"),
+        )
+        assert revelation.method is RevelationMethod.NONE
+        assert revelation.traces_used == 1
+        assert revelation.probes_used > 0
+
+    def test_bogus_ingress_fails_cleanly(self):
+        testbed = build_gns3("explicit-route")
+        revelation = reveal_tunnel(
+            testbed.prober,
+            testbed.vantage_point,
+            ingress=0x0A0A0A0A,  # never on the path
+            egress=testbed.address("PE2.left"),
+        )
+        assert not revelation.success
+
+
+class TestTunnelAwareTraceroute:
+    def test_enriches_invisible_path(self):
+        testbed = build_gns3("backward-recursive")
+        tracer = TunnelAwareTraceroute(testbed.prober, trigger_threshold=2)
+        enriched, revelations = tracer.trace(
+            testbed.vantage_point, testbed.address("CE2.left")
+        )
+        assert len(revelations) == 1
+        names = [testbed.name_of(a) for a in enriched]
+        assert names == [
+            "CE1.left", "PE1.left", "P1.left", "P2.left", "P3.left",
+            "PE2.left", "CE2.left",
+        ]
+
+    def test_no_trigger_on_explicit_path(self):
+        testbed = build_gns3("default")
+        tracer = TunnelAwareTraceroute(testbed.prober, trigger_threshold=2)
+        enriched, revelations = tracer.trace(
+            testbed.vantage_point, testbed.address("CE2.left")
+        )
+        assert revelations == []
+
+    def test_uhp_stays_dark(self):
+        testbed = build_gns3("totally-invisible")
+        tracer = TunnelAwareTraceroute(testbed.prober, trigger_threshold=2)
+        enriched, revelations = tracer.trace(
+            testbed.vantage_point, testbed.address("CE2.left")
+        )
+        assert revelations == []
+        names = [testbed.name_of(a) for a in enriched]
+        assert "P1.left" not in names

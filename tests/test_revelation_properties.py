@@ -1,0 +1,135 @@
+"""Property-based correctness of the revelation pipeline.
+
+For any invisible LDP tunnel of length k (and any vendor policy), the
+combined DPR/BRPR recursion must reveal exactly the k hidden LSRs, in
+order, with the classification Table 2 predicts — across randomized
+chain lengths, vendor policies, and probing start offsets.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.revelation import (
+    RevelationMethod,
+    candidate_endpoints,
+    reveal_tunnel,
+)
+from repro.dataplane.engine import ForwardingEngine
+from repro.mpls.config import MplsConfig
+from repro.net.topology import Network
+from repro.net.vendors import CISCO, JUNIPER, LdpPolicy
+from repro.probing.prober import Prober
+
+
+def build_tunnel_chain(lsr_count, ldp_policy, pre_hops=1):
+    """VP -[pre]- ingress -[k LSRs]- egress - customer."""
+    network = Network()
+    config = MplsConfig.from_vendor(
+        CISCO, ttl_propagate=False
+    ).with_overrides(ldp_policy=ldp_policy)
+    vp = network.add_router("VP", asn=1)
+    previous = vp
+    for i in range(pre_hops - 1):
+        hop = network.add_router(f"PRE{i}", asn=1)
+        network.add_link(previous, hop)
+        previous = hop
+    ingress = network.add_router("IN", asn=2, mpls=config)
+    network.add_link(previous, ingress)
+    previous = ingress
+    lsrs = []
+    for i in range(lsr_count):
+        lsr = network.add_router(f"LSR{i}", asn=2, mpls=config)
+        network.add_link(previous, lsr)
+        previous = lsr
+        lsrs.append(lsr)
+    egress = network.add_router("OUT", asn=2, mpls=config)
+    network.add_link(previous, egress)
+    customer = network.add_router("CUST", asn=3)
+    network.add_link(customer, egress)  # customer numbers the uplink
+    return network, vp, ingress, egress, customer, lsrs
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lsr_count=st.integers(1, 6),
+    policy=st.sampled_from(
+        [LdpPolicy.ALL_PREFIXES, LdpPolicy.LOOPBACK_ONLY]
+    ),
+    pre_hops=st.integers(1, 3),
+)
+def test_reveals_exactly_the_hidden_lsrs(lsr_count, policy, pre_hops):
+    network, vp, ingress, egress, customer, lsrs = build_tunnel_chain(
+        lsr_count, policy, pre_hops
+    )
+    prober = Prober(ForwardingEngine(network))
+    target = customer.incoming_address_from(egress)
+    trace = prober.traceroute(vp, target)
+    pair = candidate_endpoints(trace)
+    assert pair is not None
+    x, y = pair
+    assert network.owner_of(x) is ingress
+    assert network.owner_of(y) is egress
+    revelation = reveal_tunnel(prober, vp, x, y)
+    # Exactly the k LSRs, in forward order, nothing else.
+    assert [
+        network.owner_of(address) for address in revelation.revealed
+    ] == lsrs
+    # Classification follows Table 2.
+    if lsr_count == 1:
+        assert revelation.method is RevelationMethod.DPR_OR_BRPR
+    elif policy is LdpPolicy.LOOPBACK_ONLY:
+        assert revelation.method is RevelationMethod.DPR
+    else:
+        assert revelation.method is RevelationMethod.BRPR
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    lsr_count=st.integers(1, 5),
+    policy=st.sampled_from(
+        [LdpPolicy.ALL_PREFIXES, LdpPolicy.LOOPBACK_ONLY]
+    ),
+)
+def test_probing_cost_scales_with_method(lsr_count, policy):
+    network, vp, ingress, egress, customer, lsrs = build_tunnel_chain(
+        lsr_count, policy
+    )
+    prober = Prober(ForwardingEngine(network))
+    target = customer.incoming_address_from(egress)
+    trace = prober.traceroute(vp, target)
+    x, y = candidate_endpoints(trace)
+    revelation = reveal_tunnel(prober, vp, x, y)
+    # DPR needs one trace plus the terminating one; BRPR needs one per
+    # LSR plus the terminating one.
+    if policy is LdpPolicy.LOOPBACK_ONLY or lsr_count == 1:
+        assert revelation.traces_used <= 2
+    else:
+        assert revelation.traces_used == lsr_count + 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(lsr_count=st.integers(1, 5))
+def test_juniper_vendor_defaults_behave_like_loopback_only(lsr_count):
+    network = Network()
+    config = MplsConfig.from_vendor(JUNIPER, ttl_propagate=False)
+    vp = network.add_router("VP", asn=1)
+    ingress = network.add_router("IN", asn=2, vendor=JUNIPER, mpls=config)
+    network.add_link(vp, ingress)
+    previous = ingress
+    for i in range(lsr_count):
+        lsr = network.add_router(
+            f"LSR{i}", asn=2, vendor=JUNIPER, mpls=config
+        )
+        network.add_link(previous, lsr)
+        previous = lsr
+    egress = network.add_router("OUT", asn=2, vendor=JUNIPER, mpls=config)
+    network.add_link(previous, egress)
+    customer = network.add_router("CUST", asn=3)
+    network.add_link(customer, egress)
+    prober = Prober(ForwardingEngine(network))
+    target = customer.incoming_address_from(egress)
+    trace = prober.traceroute(vp, target)
+    pair = candidate_endpoints(trace)
+    revelation = reveal_tunnel(prober, vp, *pair)
+    assert revelation.tunnel_length == lsr_count
+    if lsr_count > 1:
+        assert revelation.method is RevelationMethod.DPR

@@ -1,0 +1,118 @@
+"""Tests for the explicit/implicit tunnel taxonomy (Sec. 2.2)."""
+
+import pytest
+
+from repro.core.taxonomy import TunnelClass, classify_trace
+from repro.mpls.config import MplsConfig
+from repro.net.vendors import CISCO
+from repro.synth.failures import disable_rfc4950
+from repro.synth.gns3 import build_gns3
+
+
+class TestExplicitClassification:
+    def test_default_testbed_yields_explicit_segment(self):
+        testbed = build_gns3("default")
+        trace = testbed.traceroute("CE2.left")
+        segments = classify_trace(trace)
+        explicit = [
+            s for s in segments if s.kind == TunnelClass.EXPLICIT
+        ]
+        assert len(explicit) == 1
+        names = [testbed.name_of(a) for a in explicit[0].lsrs]
+        assert names == ["P1.left", "P2.left", "P3.left"]
+
+    def test_invisible_testbed_yields_nothing(self):
+        testbed = build_gns3("backward-recursive")
+        trace = testbed.traceroute("CE2.left")
+        assert classify_trace(trace) == []
+
+    def test_uhp_testbed_yields_nothing(self):
+        testbed = build_gns3("totally-invisible")
+        trace = testbed.traceroute("CE2.left")
+        assert classify_trace(trace) == []
+
+
+class TestImplicitClassification:
+    @pytest.fixture()
+    def implicit_testbed(self):
+        # ttl-propagate on (LSRs answer) but RFC 4950 off (no labels):
+        # the 2012 paper's *implicit* tunnel.
+        testbed = build_gns3("default")
+        disable_rfc4950(testbed.network, fraction=1.0, asns=[2])
+        return testbed
+
+    def test_uturn_signature_found(self, implicit_testbed):
+        testbed = implicit_testbed
+        trace = testbed.traceroute("CE2.left")
+        assert not trace.contains_labels()
+        segments = classify_trace(trace)
+        implicit = [
+            s for s in segments if s.kind == TunnelClass.IMPLICIT
+        ]
+        assert len(implicit) == 1
+        names = [testbed.name_of(a) for a in implicit[0].lsrs]
+        # The u-turn run covers the in-tunnel hops whose replies
+        # detoured: P1 and P2 (P3 is the LH and replies directly).
+        assert "P1.left" in names and "P2.left" in names
+
+    def test_min_length_suppresses_coincidences(self, implicit_testbed):
+        trace = implicit_testbed.traceroute("CE2.left")
+        strict = classify_trace(trace, min_implicit_length=5)
+        assert all(s.kind != TunnelClass.IMPLICIT for s in strict)
+
+    def test_plain_ip_path_never_implicit(self):
+        # The explicit-route testbed's DPR trace is pure IGP: flat
+        # asymmetry, no u-turn, no implicit segment.
+        testbed = build_gns3("explicit-route")
+        trace = testbed.traceroute("PE2.left")
+        assert classify_trace(trace) == []
+
+
+class TestSegmentProperties:
+    def test_segments_ordered_by_ttl(self):
+        testbed = build_gns3("default")
+        trace = testbed.traceroute("CE2.left")
+        segments = classify_trace(trace)
+        ttls = [s.start_ttl for s in segments]
+        assert ttls == sorted(ttls)
+        for segment in segments:
+            assert segment.length == len(segment.lsrs)
+
+
+class TestTaxonomyProperties:
+    def test_no_false_positives_on_random_plain_ip(self):
+        # Seeded sweep: no MPLS => no segments, ever.
+        import random as _random
+        from repro.dataplane.engine import ForwardingEngine
+        from repro.net.topology import Network
+        from repro.probing.prober import Prober
+
+        for seed in range(25):
+            rng = _random.Random(seed)
+            network = Network()
+            n = rng.randint(3, 10)
+            routers = [
+                network.add_router(f"R{i}", asn=1) for i in range(n)
+            ]
+            for a, b in zip(routers, routers[1:]):
+                network.add_link(a, b, weight=rng.randint(1, 4))
+            if n > 3 and rng.random() < 0.5:
+                a, b = rng.sample(routers, 2)
+                if a.interface_toward(b) is None:
+                    network.add_link(a, b, weight=rng.randint(1, 4))
+            prober = Prober(ForwardingEngine(network))
+            trace = prober.traceroute(
+                routers[0], routers[-1].loopback
+            )
+            assert classify_trace(trace) == [], f"seed {seed}"
+
+    def test_explicit_and_implicit_disjoint(self):
+        # A hop can only belong to one class: labels win.
+        testbed = build_gns3("default")
+        trace = testbed.traceroute("CE2.left")
+        segments = classify_trace(trace)
+        seen = set()
+        for segment in segments:
+            for address in segment.lsrs:
+                assert (address, segment.kind) not in seen
+                seen.add((address, segment.kind))

