@@ -20,6 +20,11 @@ def internet():
     return build_internet(InternetConfig(seed=77))
 
 
+@pytest.fixture(scope="module")
+def internet_uncached():
+    return build_internet(InternetConfig(seed=77, trajectory_cache=False))
+
+
 def test_perf_single_probe_testbed(benchmark):
     testbed = build_gns3("backward-recursive")
     dst = testbed.address("CE2.left")
@@ -44,6 +49,20 @@ def test_perf_probe_across_internet(benchmark, internet):
 
 
 def test_perf_full_traceroute(benchmark, internet):
+    vp = internet.vps[0]
+    dst = internet.campaign_targets()[0]
+
+    def trace():
+        return internet.prober.traceroute(vp, dst, start_ttl=2)
+
+    result = benchmark(trace)
+    assert result.hops
+
+
+def test_perf_full_traceroute_uncached(benchmark, internet_uncached):
+    """The walk-per-probe baseline the trajectory cache is measured
+    against (same trace as ``test_perf_full_traceroute``)."""
+    internet = internet_uncached
     vp = internet.vps[0]
     dst = internet.campaign_targets()[0]
 

@@ -11,6 +11,7 @@ from repro.campaign.orchestrator import (
     CampaignConfig,
     CampaignResult,
     CandidatePair,
+    PerfStats,
 )
 from repro.campaign.postprocess import Aggregator
 from repro.campaign.report import render_report
@@ -23,6 +24,7 @@ __all__ = [
     "CampaignResult",
     "CandidatePair",
     "CrossValOutcome",
+    "PerfStats",
     "cross_validate",
     "extract_explicit_tunnels",
     "render_report",

@@ -12,10 +12,27 @@ synthetic Internet:
 
 The result object carries raw traces, pings, revelations, and ready
 analyzers (signatures, FRPLA, RTLA) for the experiment code.
+
+With ``CampaignConfig.workers > 1`` each phase is preceded by a
+parallel *prewarm*: the (vp, destination) work items are sharded
+across forked worker processes that execute the same probing code,
+discard the measurement results, and ship back only the forwarding
+engine's memoised trajectories (see
+:mod:`repro.dataplane.trajectory`).  The parent installs those and
+then replays the phase serially against a warm cache — so the
+measurement results are produced by exactly the same serial code path
+and are bit-identical to a ``workers=1`` run, while the expensive
+symbolic walks happen concurrently.  Flow identifiers are a pure
+function of (vp, destination) (see ``Prober._flow_for``), which is
+what makes worker-built trajectories line up with the parent's cache
+keys.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -30,7 +47,30 @@ from repro.core.signatures import SignatureInventory
 from repro.net.router import Router
 from repro.probing.prober import PingResult, Prober, Trace
 
-__all__ = ["CampaignConfig", "CandidatePair", "CampaignResult", "Campaign"]
+__all__ = [
+    "CampaignConfig", "CandidatePair", "PerfStats", "CampaignResult",
+    "Campaign",
+]
+
+#: Campaign forked prewarm workers read their work context from here
+#: (set just before the fork, cleared right after).
+_WORKER_CAMPAIGN: Optional["Campaign"] = None
+
+#: Engine counters snapshotted into :class:`PerfStats`.
+_ENGINE_COUNTERS = (
+    "trajectory_hits", "trajectory_misses", "hops_walked",
+    "packets_simulated",
+)
+
+
+def _prewarm_worker(tasks: List[tuple]) -> Dict[tuple, dict]:
+    """Run ``tasks`` in a forked worker; return new trajectory wires."""
+    campaign = _WORKER_CAMPAIGN
+    engine = campaign.prober.engine
+    known = frozenset(engine._trajectories)
+    for task in tasks:
+        campaign._execute_prewarm(task)
+    return engine.export_trajectories(known)
 
 
 @dataclass(frozen=True)
@@ -47,6 +87,40 @@ class CampaignConfig:
     #: Optional HDN address filter: when set, X and Y must be in it.
     hdn_addresses: Optional[frozenset] = None
     ping_discovered: bool = True
+    #: Worker processes for the parallel trajectory prewarm; 1 = fully
+    #: serial.  Results are bit-identical either way.
+    workers: int = 1
+
+
+@dataclass
+class PerfStats:
+    """Performance observability for one campaign run.
+
+    Wall-clock is recorded per pipeline phase; the engine counters are
+    deltas over the run (they include any parallel prewarm replay the
+    parent performed, so ``hit_rate`` directly shows how much of the
+    serial replay was served from the trajectory cache).
+    """
+
+    workers: int = 1  #: worker processes the campaign ran with
+    #: Phase name ("trace", "ping", "extract", "revelation") to
+    #: wall-clock seconds spent in it (prewarm included).
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    trajectory_hits: int = 0  #: engine cache hits during the run
+    trajectory_misses: int = 0  #: engine cache misses during the run
+    hops_walked: int = 0  #: per-hop walk steps executed
+    packets_simulated: int = 0  #: packets simulated (probes + replies)
+
+    @property
+    def hit_rate(self) -> float:
+        """Trajectory-cache hit fraction (0.0 when unused)."""
+        total = self.trajectory_hits + self.trajectory_misses
+        return self.trajectory_hits / total if total else 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock total across all recorded phases."""
+        return sum(self.phase_seconds.values())
 
 
 @dataclass
@@ -75,6 +149,9 @@ class CampaignResult:
     rtla: RtlaAnalyzer = field(default_factory=RtlaAnalyzer)
     probes_sent: int = 0
     revelation_probes: int = 0
+    #: Timings and cache counters; excluded from equality so parallel
+    #: and serial runs of the same campaign still compare equal.
+    perf: PerfStats = field(default_factory=PerfStats, compare=False)
 
     # ------------------------------------------------------------------
 
@@ -134,11 +211,31 @@ class Campaign:
     def run(self, destinations: Sequence[int]) -> CampaignResult:
         """Full pipeline: trace, ping, extract pairs, reveal."""
         result = CampaignResult()
-        self.trace_phase(destinations, result)
+        result.perf.workers = max(1, self.config.workers)
+        counters = self._engine_counters()
+        with self._timed(result, "trace"):
+            self._prewarm([
+                ("trace", vp.name, dst)
+                for vp, dst in self._team_assignment(destinations)
+            ])
+            self.trace_phase(destinations, result)
         if self.config.ping_discovered:
-            self.ping_phase(result)
-        self.extract_pairs(result)
-        self.revelation_phase(result)
+            with self._timed(result, "ping"):
+                self._prewarm([
+                    ("ping", vp_name, address)
+                    for vp_name, address in sorted(self._ping_pairs(result))
+                ])
+                self.ping_phase(result)
+        with self._timed(result, "extract"):
+            self.extract_pairs(result)
+        with self._timed(result, "revelation"):
+            self._prewarm([
+                ("reveal", pair.vp, pair.ingress, pair.egress)
+                for pair in result.pairs
+            ])
+            self.revelation_phase(result)
+        for name, end in self._engine_counters().items():
+            setattr(result.perf, name, end - counters[name])
         return result
 
     def trace_phase(
@@ -162,19 +259,30 @@ class Campaign:
         Each address is pinged from *every* vantage point that saw it:
         RTLA pairs time-exceeded and echo-reply observations per VP,
         so a ping from a different VP would be useless to it.
+
+        ``result.pings`` keeps the *first responsive* ping per address
+        (an unresponsive placeholder is upgraded once), so the mapping
+        is deterministic under any shard/merge order.
         """
-        pairs: Set[Tuple[str, int]] = set()
-        for trace in result.traces:
-            for address in trace.addresses:
-                pairs.add((trace.source, address))
         before = self.prober.probes_sent
-        for vp_name, address in sorted(pairs):
+        for vp_name, address in sorted(self._ping_pairs(result)):
             ping = self.prober.ping(self._vp_by_name[vp_name], address)
-            if address not in result.pings or ping.responded:
+            existing = result.pings.get(address)
+            if existing is None or (
+                ping.responded and not existing.responded
+            ):
                 result.pings[address] = ping
             result.inventory.observe_ping(ping)
             result.rtla.add_ping(ping)
         result.probes_sent += self.prober.probes_sent - before
+
+    def _ping_pairs(self, result: CampaignResult) -> Set[Tuple[str, int]]:
+        """The (vp name, address) pairs the ping phase will probe."""
+        pairs: Set[Tuple[str, int]] = set()
+        for trace in result.traces:
+            for address in trace.addresses:
+                pairs.add((trace.source, address))
+        return pairs
 
     def extract_pairs(self, result: CampaignResult) -> None:
         """Trace tails ``X, Y, D`` with X, Y in one suspicious AS."""
@@ -238,6 +346,83 @@ class Campaign:
                     result.inventory.observe_ping(ping)
                     result.rtla.add_ping(ping)
         result.revelation_probes = self.prober.probes_sent - before
+
+    # ------------------------------------------------------------------
+    # Parallel prewarm
+
+    def _prewarm(self, tasks: List[tuple]) -> None:
+        """Shard ``tasks`` across worker processes to warm the cache.
+
+        Workers fork from the current process, execute the probing for
+        their shard (discarding the measurement results), and return
+        the trajectories their engines built; the parent installs them
+        so the serial phase replay mostly hits the cache.  A no-op for
+        ``workers <= 1``, an uncached engine, or when forking is
+        unavailable — the phase then simply runs serially cold.
+        """
+        workers = self.config.workers
+        engine = self.prober.engine
+        if (
+            workers <= 1
+            or not tasks
+            or not getattr(engine, "trajectory_cache", False)
+        ):
+            return
+        shards = [tasks[i::workers] for i in range(workers)]
+        shards = [shard for shard in shards if shard]
+        global _WORKER_CAMPAIGN
+        _WORKER_CAMPAIGN = self
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(len(shards)) as pool:
+                wire_sets = pool.map(_prewarm_worker, shards)
+        except (OSError, ValueError):
+            return
+        finally:
+            _WORKER_CAMPAIGN = None
+        for wires in wire_sets:
+            engine.install_trajectories(wires)
+
+    def _execute_prewarm(self, task: tuple) -> None:
+        """Run one prewarm work item (inside a worker process)."""
+        kind = task[0]
+        vp = self._vp_by_name[task[1]]
+        if kind == "trace":
+            self.prober.traceroute(
+                vp, task[2], start_ttl=self.config.start_ttl
+            )
+        elif kind == "ping":
+            self.prober.ping(vp, task[2])
+        else:
+            revelation = reveal_tunnel(
+                self.prober,
+                vp,
+                ingress=task[2],
+                egress=task[3],
+                max_steps=self.config.max_revelation_steps,
+                start_ttl=self.config.start_ttl,
+            )
+            if self.config.ping_discovered:
+                for address in revelation.revealed:
+                    self.prober.ping(vp, address)
+
+    @contextmanager
+    def _timed(self, result: CampaignResult, phase: str):
+        """Accumulate wall-clock for ``phase`` into the result."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            seconds = result.perf.phase_seconds
+            seconds[phase] = seconds.get(phase, 0.0) + elapsed
+
+    def _engine_counters(self) -> Dict[str, int]:
+        """Snapshot the engine's perf counters (0 when absent)."""
+        engine = self.prober.engine
+        return {
+            name: getattr(engine, name, 0) for name in _ENGINE_COUNTERS
+        }
 
     # ------------------------------------------------------------------
 

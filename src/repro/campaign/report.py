@@ -18,7 +18,34 @@ from repro.core.revelation import RevelationMethod
 from repro.experiments.common import format_table
 from repro.stats.distributions import Distribution
 
-__all__ = ["render_report"]
+__all__ = ["render_report", "render_perf_section"]
+
+
+def render_perf_section(result: CampaignResult) -> str:
+    """Render the performance/observability section for ``result``.
+
+    Shows worker count, per-phase wall-clock, and the forwarding
+    engine's trajectory-cache counters accumulated over the run.
+    """
+    perf = result.perf
+    lines: List[str] = ["## Performance", ""]
+    rows: List[tuple] = [("workers", perf.workers)]
+    for phase, seconds in perf.phase_seconds.items():
+        rows.append((f"{phase} phase", f"{seconds:.3f} s"))
+    if perf.phase_seconds:
+        rows.append(("total", f"{perf.total_seconds:.3f} s"))
+    rows.extend(
+        [
+            ("trajectory cache hits", perf.trajectory_hits),
+            ("trajectory cache misses", perf.trajectory_misses),
+            ("cache hit rate", f"{perf.hit_rate:.1%}"),
+            ("hops walked", perf.hops_walked),
+            ("packets simulated", perf.packets_simulated),
+        ]
+    )
+    lines.append(format_table(["metric", "value"], rows))
+    lines.append("")
+    return "\n".join(lines)
 
 
 def _method_counts(result: CampaignResult) -> Dict[str, int]:
@@ -121,4 +148,7 @@ def render_report(
         )
     )
     lines.append("")
+
+    # ------------------------------------------------------------------
+    lines.append(render_perf_section(result))
     return "\n".join(lines)

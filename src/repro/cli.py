@@ -87,6 +87,15 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=2017)
     campaign.add_argument("--vantage-points", type=int, default=8)
     campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the parallel trajectory prewarm "
+        "(results are bit-identical to a serial run)",
+    )
+    campaign.add_argument(
+        "--stats", action="store_true",
+        help="print per-phase timings and engine cache counters",
+    )
+    campaign.add_argument(
         "--save", metavar="PATH", default=None,
         help="write the campaign dataset as JSON",
     )
@@ -130,6 +139,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             scale=args.scale,
             seed=args.seed,
             vantage_points=args.vantage_points,
+            workers=args.workers,
         )
     )
     result = context.result
@@ -138,6 +148,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{len(result.traces)} traces, {len(result.pairs)} candidate "
         f"pairs, {len(result.successful_revelations())} tunnels revealed"
     )
+    if args.stats:
+        from repro.campaign.report import render_perf_section
+
+        print()
+        print(render_perf_section(result))
     print()
     print(table4_per_as.run(context.config).text)
     print()

@@ -23,6 +23,14 @@ the per-hop return TTLs printed in Fig. 4 of the paper) are:
     disposition stays in the MPLS path and consumes no IP-TTL (this is
     what keeps Fig. 4d's egress invisible).
 6.  Routers never decrement locally-originated packets.
+
+Because every routing decision in the walk is independent of the
+packet's TTLs, the walk is executed **once per flow** against a
+symbolic packet (see :mod:`repro.dataplane.trajectory`) and memoised;
+each concrete probe/reply TTL then resolves to its terminal state by
+bisection instead of a re-walk, turning traceroute replay from O(h^2)
+into near-O(h).  Set ``trajectory_cache=False`` to force the original
+concrete walk for every packet.
 """
 
 from __future__ import annotations
@@ -30,15 +38,27 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dataplane.packet import (
+    _KINDS,
     DEST_UNREACHABLE,
     ECHO_REPLY,
     ECHO_REQUEST,
     TIME_EXCEEDED,
     UDP_PROBE,
     Packet,
+)
+from repro.dataplane.trajectory import (
+    BindingRef,
+    SymbolicLse,
+    SymbolicPacket,
+    InputRef,
+    Trajectory,
+    TrajectoryBuilder,
+    trajectory_from_wire,
+    trajectory_to_wire,
+    ttl_eval,
 )
 from repro.mpls.config import PoppingMode
 from repro.mpls.labels import EXPLICIT_NULL, LabelAllocator, LabelStackEntry
@@ -101,6 +121,29 @@ class ProbeOutcome:
         return self.reply_kind is not None
 
 
+class _ReplyInfo:
+    """Per-trajectory-event memo of the (TTL-independent) reply walk."""
+
+    __slots__ = (
+        "src", "kind", "delay_ms", "return_path", "delivered",
+        "reply_ttl", "responder_router",
+    )
+
+    def __init__(self, src, kind, delay_ms, return_path, delivered,
+                 reply_ttl, responder_router):
+        self.src = src
+        self.kind = kind
+        self.delay_ms = delay_ms
+        self.return_path = return_path
+        self.delivered = delivered
+        self.reply_ttl = reply_ttl
+        self.responder_router = responder_router
+
+
+#: Sentinel memo: this event never produces a reply (silent reason).
+_NO_REPLY = object()
+
+
 class ForwardingEngine:
     """Simulates packet journeys over a network + control plane."""
 
@@ -109,6 +152,7 @@ class ForwardingEngine:
         network: Network,
         control: Optional[ControlPlane] = None,
         max_hops: int = 255,
+        trajectory_cache: bool = True,
     ) -> None:
         self.network = network
         self.control = control or ControlPlane(network)
@@ -116,6 +160,63 @@ class ForwardingEngine:
         self.labels = LabelAllocator()
         #: Count of packets fully simulated (probes + replies).
         self.packets_simulated = 0
+        #: Memoise whole journeys per flow; False = legacy re-walks.
+        self.trajectory_cache = trajectory_cache
+        #: Trajectory-cache lookups that found a memoised journey.
+        self.trajectory_hits = 0
+        #: Trajectory-cache lookups that had to walk symbolically.
+        self.trajectory_misses = 0
+        #: Per-hop walk steps actually executed (cached evals skip them).
+        self.hops_walked = 0
+        self._trajectories: Dict[tuple, Trajectory] = {}
+        self.control.add_invalidation_listener(self.flush_trajectories)
+
+    # ------------------------------------------------------------------
+    # Cache management / observability
+
+    def flush_trajectories(self) -> None:
+        """Drop every memoised trajectory (after topology/TE edits)."""
+        self._trajectories.clear()
+
+    def cache_stats(self) -> Dict[str, object]:
+        """Trajectory-cache effectiveness counters, as one dict."""
+        total = self.trajectory_hits + self.trajectory_misses
+        return {
+            "trajectory_hits": self.trajectory_hits,
+            "trajectory_misses": self.trajectory_misses,
+            "hit_rate": self.trajectory_hits / total if total else 0.0,
+            "cached_trajectories": len(self._trajectories),
+            "hops_walked": self.hops_walked,
+            "packets_simulated": self.packets_simulated,
+        }
+
+    def export_trajectories(self, known=frozenset()) -> Dict[tuple, dict]:
+        """Wire-format snapshot of trajectories whose key is not in
+        ``known`` (used by parallel campaign workers to ship their
+        freshly built trajectories back to the parent process)."""
+        return {
+            key: trajectory_to_wire(trajectory)
+            for key, trajectory in self._trajectories.items()
+            if key not in known
+        }
+
+    def install_trajectories(self, wires: Dict[tuple, dict]) -> int:
+        """Install wire-format trajectories built in another process.
+
+        Existing keys are kept (first build wins); unresolvable wires
+        are skipped.  Returns how many trajectories were installed.
+        """
+        installed = 0
+        for key, wire in wires.items():
+            if key in self._trajectories:
+                continue
+            trajectory = trajectory_from_wire(
+                wire, self.network, self.control.te.tunnel_from
+            )
+            if trajectory is not None:
+                self._trajectories[key] = trajectory
+                installed += 1
+        return installed
 
     # ------------------------------------------------------------------
     # Public API
@@ -129,6 +230,66 @@ class ForwardingEngine:
         kind: str = ECHO_REQUEST,
     ) -> ProbeOutcome:
         """Emit one probe from ``source`` and report what comes back."""
+        if not self.trajectory_cache:
+            return self._send_probe_walked(source, dst, ttl, flow_id, kind)
+        if kind not in _KINDS:
+            raise ValueError(f"unknown packet kind {kind!r}")
+        if not 0 <= ttl <= 255:
+            raise ValueError(f"IP-TTL out of range: {ttl}")
+        self.packets_simulated += 1
+        key = (source.name, dst, flow_id, kind)
+        trajectory = self._trajectories.get(key)
+        if trajectory is None:
+            self.trajectory_misses += 1
+            trajectory = self._build_trajectory(
+                source, source.loopback, dst, flow_id, kind, (), None
+            )
+            self._trajectories[key] = trajectory
+        else:
+            self.trajectory_hits += 1
+        event = trajectory.locate(ttl)
+        self._force_bindings(trajectory, event.bindings_used)
+        outcome = ProbeOutcome(
+            probe_ttl=ttl,
+            forward_path=trajectory.names[: event.hop_index + 1],
+        )
+        reason = event.reason
+        if reason is EndReason.NO_ROUTE or reason is EndReason.LOOP:
+            return outcome
+        router = trajectory.routers[event.hop_index]
+        if not self._responds(router, flow_id, ttl_eval(event.ip, ttl), dst):
+            return outcome
+        info = event.reply_info
+        if info is None:
+            info = self._reply_info(trajectory, event)
+            event.reply_info = info
+        elif info is not _NO_REPLY:
+            # The memoised reply walk still counts as one simulated
+            # packet, mirroring the legacy per-probe reply simulation.
+            self.packets_simulated += 1
+        if info is _NO_REPLY:
+            return outcome
+        outcome.rtt_ms = event.delay_ms + info.delay_ms
+        outcome.return_path = list(info.return_path)
+        if info.delivered:
+            outcome.reply_kind = info.kind
+            outcome.responder = info.src
+            outcome.responder_router = info.responder_router
+            outcome.reply_ttl = info.reply_ttl
+            if (
+                reason is EndReason.LSE_EXPIRED
+                and router.mpls.rfc4950
+                and router.vendor.rfc4950
+            ):
+                outcome.quoted_labels = self._quoted_labels(
+                    trajectory, event, ttl
+                )
+        return outcome
+
+    def _send_probe_walked(
+        self, source: Router, dst: int, ttl: int, flow_id: int, kind: str
+    ) -> ProbeOutcome:
+        """The original walk-per-probe path (``trajectory_cache=False``)."""
         probe = Packet(
             src=source.loopback, dst=dst, ip_ttl=ttl, kind=kind,
             flow_id=flow_id,
@@ -159,7 +320,181 @@ class ForwardingEngine:
         return outcome
 
     # ------------------------------------------------------------------
-    # Reply construction
+    # Trajectory evaluation
+
+    def _build_trajectory(
+        self, origin, src, dst, flow_id, kind, stack, fec, te_tunnel=None
+    ) -> Trajectory:
+        """Walk once symbolically and record the whole journey."""
+        symbolic = SymbolicPacket(
+            src=src,
+            dst=dst,
+            kind=kind,
+            flow_id=flow_id,
+            stack=[
+                SymbolicLse(InputRef(index), (None, entry.ttl), entry.bottom)
+                for index, entry in enumerate(stack)
+            ],
+            fec=fec,
+            te_tunnel=te_tunnel,
+        )
+        builder = TrajectoryBuilder(symbolic)
+        self._walk(symbolic, origin, builder)
+        return builder.build()
+
+    def _force_bindings(self, trajectory: Trajectory, count: int) -> None:
+        """Materialise label bindings in recorded walk order.
+
+        The symbolic build allocates nothing; evaluation forces exactly
+        the sites a concrete walk up to the located event would have
+        touched, preserving the allocator's first-use ordering.
+        """
+        sites = trajectory.sites
+        while trajectory.forced < count:
+            name, fec = sites[trajectory.forced]
+            self.labels.binding(name, fec)
+            trajectory.forced += 1
+
+    def _label_value(self, trajectory, ref, packet):
+        """Resolve a trajectory label reference to a concrete value."""
+        if type(ref) is int:
+            return ref
+        if type(ref) is BindingRef:
+            name, fec = trajectory.sites[ref.index]
+            return self.labels.binding(name, fec)
+        return packet.stack[ref.index].label
+
+    def _quoted_labels(self, trajectory, event, initial_ttl):
+        """RFC 4950 quoting of the symbolic stack at ``initial_ttl``.
+
+        The stack is quoted as *received*: the top entry was
+        decremented to 0 on arrival, so it reads TTL + 1.
+        """
+        quoted = []
+        last = len(event.stack) - 1
+        for index, (label, symbol, _bottom) in enumerate(event.stack):
+            value = ttl_eval(symbol, initial_ttl)
+            quoted.append((
+                self._label_value(trajectory, label, None),
+                value + 1 if index == last else value,
+            ))
+        return quoted
+
+    def _reply_info(self, trajectory, event):
+        """Build + memoise the TTL-independent reply data for an event.
+
+        Everything here — reply source, initial TTL, the reply's own
+        journey — depends only on the terminal router and probe flow,
+        not on the probe's TTL, so it is computed once per event.  The
+        live per-probe parts (ICMP rate limiting, RFC 4950 quoting)
+        stay in :meth:`send_probe`.
+        """
+        router = trajectory.routers[event.hop_index]
+        reason = event.reason
+        kind = trajectory.kind
+        if reason is EndReason.DELIVERED:
+            if kind == UDP_PROBE:
+                src = self._outgoing_address(router, trajectory.src)
+                reply_kind = DEST_UNREACHABLE
+                initial = router.initial_ttl(TIME_EXCEEDED)
+            elif kind == ECHO_REQUEST:
+                src = trajectory.dst
+                reply_kind = ECHO_REPLY
+                initial = router.initial_ttl(ECHO_REPLY)
+            else:
+                return _NO_REPLY
+        elif reason in (EndReason.IP_EXPIRED, EndReason.LSE_EXPIRED):
+            prev = (
+                trajectory.routers[event.hop_index - 1]
+                if event.hop_index > 0
+                else None
+            )
+            src = self._reply_source(router, prev)
+            if src is None:
+                return _NO_REPLY
+            reply_kind = TIME_EXCEEDED
+            initial = router.initial_ttl(TIME_EXCEEDED)
+        else:
+            return _NO_REPLY
+        reply = Packet(
+            src=src,
+            dst=trajectory.src,
+            ip_ttl=initial,
+            kind=reply_kind,
+            flow_id=trajectory.flow_id,
+        )
+        if (
+            reason is EndReason.LSE_EXPIRED
+            and not event.expired_at_lh
+            and event.expired_fec is not None
+            and not self.control.is_fec_egress(router, event.expired_fec)
+        ):
+            # TE generated mid-LSP: carried to the LSP end first,
+            # inside a fresh LSE with TTL 255.  (An expiry at the
+            # egress itself — UHP arrival — replies directly.)
+            label = self.labels.binding(router.name, event.expired_fec)
+            reply.push(
+                LabelStackEntry(label=label, ttl=255), event.expired_fec
+            )
+        end = self._simulate(reply, router)
+        source_router = trajectory.routers[0]
+        delivered = (
+            end.reason is EndReason.DELIVERED
+            and end.router is source_router
+        )
+        responder_router = None
+        if delivered:
+            owner = self.network.owner_of(src)
+            responder_router = owner.name if owner else None
+        return _ReplyInfo(
+            src=src,
+            kind=reply_kind,
+            delay_ms=end.delay_ms,
+            return_path=tuple(r.name for r in end.path),
+            delivered=delivered,
+            reply_ttl=end.packet.ip_ttl,
+            responder_router=responder_router,
+        )
+
+    def _transit_end(self, trajectory: Trajectory, packet: Packet):
+        """Reconstruct the legacy :class:`TransitEnd` for ``packet``."""
+        initial = packet.ip_ttl
+        event = trajectory.locate(initial)
+        self._force_bindings(trajectory, event.bindings_used)
+        index = event.hop_index
+        final = object.__new__(Packet)
+        final.src = packet.src
+        final.dst = packet.dst
+        # Bypass validation: a ttl=0 input legally walks to ip_ttl=-1.
+        final.ip_ttl = ttl_eval(event.ip, initial)
+        final.kind = packet.kind
+        final.flow_id = packet.flow_id
+        stack = []
+        for label, symbol, bottom in event.stack:
+            entry = object.__new__(LabelStackEntry)
+            entry.label = self._label_value(trajectory, label, packet)
+            entry.tc = 0
+            entry.bottom = bottom
+            entry.ttl = ttl_eval(symbol, initial)
+            stack.append(entry)
+        final.stack = stack
+        final.fec = event.fec
+        final.quoted_labels = list(packet.quoted_labels)
+        final.probe_ttl = packet.probe_ttl
+        final.te_tunnel = event.te_tunnel
+        return TransitEnd(
+            reason=event.reason,
+            router=trajectory.routers[index],
+            prev_router=trajectory.routers[index - 1] if index else None,
+            packet=final,
+            path=list(trajectory.routers[: index + 1]),
+            delay_ms=event.delay_ms,
+            expired_fec=event.expired_fec,
+            expired_at_lh=event.expired_at_lh,
+        )
+
+    # ------------------------------------------------------------------
+    # Reply construction (legacy walk path)
 
     def _build_reply(
         self, end: TransitEnd, source: Router
@@ -169,7 +504,9 @@ class ForwardingEngine:
         probe = end.packet
         if router is None:
             return None, None
-        if not self._responds(router, probe):
+        if not self._responds(
+            router, probe.flow_id, probe.ip_ttl, probe.dst
+        ):
             return None, None
         if end.reason is EndReason.DELIVERED:
             if probe.kind == UDP_PROBE:
@@ -254,12 +591,16 @@ class ForwardingEngine:
         return router.loopback
 
     @staticmethod
-    def _responds(router: Router, probe: Packet) -> bool:
+    def _responds(
+        router: Router, flow_id: int, ip_ttl: int, dst: int
+    ) -> bool:
         """ICMP policy: silence and deterministic rate limiting.
 
         Rate limiting is sampled per probe from a stable hash of the
         probe identity, so repeated campaigns stay reproducible while
-        individual probes are dropped at the configured rate.
+        individual probes are dropped at the configured rate.  Always
+        evaluated live (never cached): failure-injection scenarios flip
+        these router flags mid-run.
         """
         if not router.icmp_enabled:
             return False
@@ -269,8 +610,7 @@ class ForwardingEngine:
         if rate <= 0.0:
             return False
         digest = zlib.crc32(
-            f"{router.name}|{probe.flow_id}|{probe.ip_ttl}|"
-            f"{probe.dst}".encode("ascii")
+            f"{router.name}|{flow_id}|{ip_ttl}|{dst}".encode("ascii")
         )
         return (digest / 0xFFFFFFFF) < rate
 
@@ -288,36 +628,70 @@ class ForwardingEngine:
     # The per-hop walk
 
     def _simulate(self, packet: Packet, origin: Router) -> TransitEnd:
-        """Walk ``packet`` from ``origin`` until a terminal state."""
+        """Walk ``packet`` from ``origin`` until a terminal state.
+
+        With the trajectory cache enabled the walk happens at most once
+        per ``(origin, flow)``; subsequent calls reconstruct the
+        terminal state from the memoised trajectory.  Packets already
+        riding a TE tunnel (only hand-crafted test packets do) always
+        take the concrete walk.
+        """
         self.packets_simulated += 1
+        if not self.trajectory_cache or packet.te_tunnel is not None:
+            return self._walk(packet, origin)
+        key = (
+            origin.name,
+            packet.src,
+            packet.dst,
+            packet.flow_id,
+            packet.kind,
+            tuple((entry.ttl, entry.bottom) for entry in packet.stack),
+            packet.fec,
+        )
+        trajectory = self._trajectories.get(key)
+        if trajectory is None:
+            self.trajectory_misses += 1
+            trajectory = self._build_trajectory(
+                origin, packet.src, packet.dst, packet.flow_id,
+                packet.kind, tuple(packet.stack), packet.fec,
+            )
+            self._trajectories[key] = trajectory
+        else:
+            self.trajectory_hits += 1
+        return self._transit_end(trajectory, packet)
+
+    def _walk(self, packet, origin: Router, builder=None):
+        """Concrete or symbolic per-hop walk.
+
+        With ``builder=None``, ``packet`` is a concrete
+        :class:`Packet` and the walk returns its :class:`TransitEnd`
+        (original semantics).  With a
+        :class:`~repro.dataplane.trajectory.TrajectoryBuilder`,
+        ``packet`` is symbolic: conditional expiries are recorded as
+        events, the walk runs to its unconditional end, and None is
+        returned (the builder holds the trajectory).
+        """
         current = origin
         prev: Optional[Router] = None
         path = [origin]
         delay = 0.0
         originating = True
         for _ in range(self.max_hops):
+            self.hops_walked += 1
             if not originating:
-                arrival = self._process_arrival(current, prev, packet)
+                if builder is not None:
+                    builder.at(len(path) - 1, delay)
+                arrival = self._process_arrival(current, packet, builder)
                 if arrival is not None:
-                    return TransitEnd(
-                        reason=arrival[0],
-                        router=current,
-                        prev_router=prev,
-                        packet=packet,
-                        path=path,
-                        delay_ms=delay,
-                        expired_fec=arrival[1],
-                        expired_at_lh=arrival[2],
+                    return self._walk_end(
+                        arrival[0], current, prev, packet, path, delay,
+                        arrival[1], arrival[2], builder,
                     )
             step = self._forwarding_step(current, packet, originating)
             if step is None:
-                return TransitEnd(
-                    reason=EndReason.NO_ROUTE,
-                    router=current,
-                    prev_router=prev,
-                    packet=packet,
-                    path=path,
-                    delay_ms=delay,
+                return self._walk_end(
+                    EndReason.NO_ROUTE, current, prev, packet, path,
+                    delay, None, False, builder,
                 )
             next_router = step
             link = current.interface_toward(next_router)
@@ -329,26 +703,51 @@ class ForwardingEngine:
             current = next_router
             path.append(current)
             originating = False
+        return self._walk_end(
+            EndReason.LOOP, current, prev, packet, path, delay,
+            None, False, builder,
+        )
+
+    def _walk_end(
+        self, reason, current, prev, packet, path, delay,
+        expired_fec, expired_at_lh, builder,
+    ):
+        """Finish a walk: a TransitEnd, or a recorded terminal event."""
+        if builder is not None:
+            builder.terminal(
+                reason, len(path) - 1, delay, expired_fec, expired_at_lh
+            )
+            builder.path = path
+            return None
         return TransitEnd(
-            reason=EndReason.LOOP,
+            reason=reason,
             router=current,
             prev_router=prev,
             packet=packet,
             path=path,
             delay_ms=delay,
+            expired_fec=expired_fec,
+            expired_at_lh=expired_at_lh,
         )
 
     def _process_arrival(
-        self, router: Router, prev: Optional[Router], packet: Packet
+        self, router: Router, packet, builder
     ) -> Optional[Tuple[EndReason, Optional[Prefix], bool]]:
-        """TTL bookkeeping on packet arrival; non-None ends the walk."""
+        """TTL bookkeeping on packet arrival; non-None ends the walk.
+
+        Decrements return ``None`` (no expiry), ``-1`` (unconditional
+        expiry — ends concrete walks and truncates symbolic ones), or a
+        threshold (symbolic packets only) recorded on the builder.
+        """
         popped_here = False
         if packet.labeled:
-            packet.top.ttl -= 1
-            if packet.top.ttl <= 0:
+            status = packet.dec_lse()
+            if status is not None:
                 fec = packet.fec
                 at_lh = self._is_last_hop(router, packet)
-                return (EndReason.LSE_EXPIRED, fec, at_lh)
+                if status < 0:
+                    return (EndReason.LSE_EXPIRED, fec, at_lh)
+                builder.expiry(status, EndReason.LSE_EXPIRED, fec, at_lh)
             tunnel = packet.te_tunnel
             if tunnel is not None and router.name == tunnel.tail:
                 # RSVP-TE tail under UHP: pop the explicit-null label.
@@ -372,12 +771,14 @@ class ForwardingEngine:
                 # stays in the MPLS path: no IP decrement (this is the
                 # mechanic that keeps Fig. 4d's egress invisible).
                 return None
-            packet.ip_ttl -= 1
-            if packet.ip_ttl <= 0:
-                return (EndReason.IP_EXPIRED, None, False)
+            status = packet.dec_ip()
+            if status is not None:
+                if status < 0:
+                    return (EndReason.IP_EXPIRED, None, False)
+                builder.expiry(status, EndReason.IP_EXPIRED, None, False)
         return None
 
-    def _is_last_hop(self, router: Router, packet: Packet) -> bool:
+    def _is_last_hop(self, router: Router, packet) -> bool:
         """Is ``router`` the popping hop (LH) of the packet's LSP?"""
         tunnel = packet.te_tunnel
         if tunnel is not None:
@@ -405,15 +806,23 @@ class ForwardingEngine:
             return None
         return route
 
+    def _bind(self, packet, router_name: str, fec) -> object:
+        """A label for ``(router, fec)``: allocated now for concrete
+        packets, deferred to a :class:`BindingRef` for symbolic ones."""
+        record = getattr(packet, "record_binding", None)
+        if record is not None:
+            return record(router_name, fec)
+        return self.labels.binding(router_name, fec)
+
     def _forwarding_step(
-        self, current: Router, packet: Packet, originating: bool
+        self, current: Router, packet, originating: bool
     ) -> Optional[Router]:
         """Decide the next hop; mutates the packet (push/pop/swap)."""
         if packet.labeled:
             return self._mpls_step(current, packet)
         return self._ip_step(current, packet, originating)
 
-    def _mpls_step(self, current: Router, packet: Packet) -> Optional[Router]:
+    def _mpls_step(self, current: Router, packet) -> Optional[Router]:
         if packet.te_tunnel is not None:
             return self._te_step(current, packet)
         fec = packet.fec
@@ -434,14 +843,14 @@ class ForwardingEngine:
             if next_router.mpls.popping is PoppingMode.PHP:
                 popped = packet.pop()
                 if current.mpls.min_ttl_on_pop:
-                    packet.ip_ttl = min(packet.ip_ttl, popped.ttl)
+                    packet.apply_min(popped)
             else:
                 packet.top.label = EXPLICIT_NULL
         else:
-            packet.top.label = self.labels.binding(next_router.name, fec)
+            packet.top.label = self._bind(packet, next_router.name, fec)
         return next_router
 
-    def _te_step(self, current: Router, packet: Packet) -> Optional[Router]:
+    def _te_step(self, current: Router, packet) -> Optional[Router]:
         """Forward along an RSVP-TE tunnel's explicit path."""
         tunnel = packet.te_tunnel
         next_name = tunnel.next_hop(current.name)
@@ -454,17 +863,17 @@ class ForwardingEngine:
             if tunnel.popping is PoppingMode.PHP:
                 popped = packet.pop()
                 if current.mpls.min_ttl_on_pop:
-                    packet.ip_ttl = min(packet.ip_ttl, popped.ttl)
+                    packet.apply_min(popped)
             else:
                 packet.top.label = EXPLICIT_NULL
         else:
-            packet.top.label = self.labels.binding(
-                next_name, ("te", tunnel.name)
+            packet.top.label = self._bind(
+                packet, next_name, ("te", tunnel.name)
             )
         return next_router
 
     def _ip_step(
-        self, current: Router, packet: Packet, originating: bool
+        self, current: Router, packet, originating: bool
     ) -> Optional[Router]:
         route = self.control.resolve(current, packet.dst)
         if route.kind in (RouteKind.LOCAL, RouteKind.UNREACHABLE):
@@ -498,17 +907,14 @@ class ForwardingEngine:
                 # Next hop advertised implicit null: nothing to push.
                 pass
             else:
-                lse_ttl = (
-                    packet.ip_ttl if current.mpls.ttl_propagate else 255
-                )
-                label = self.labels.binding(next_router.name, route.fec)
-                packet.push(
-                    LabelStackEntry(label=label, ttl=lse_ttl), route.fec
+                label = self._bind(packet, next_router.name, route.fec)
+                packet.push_label(
+                    label, route.fec, current.mpls.ttl_propagate
                 )
         return next_router
 
     def _te_entry(
-        self, current: Router, packet: Packet, route: Route
+        self, current: Router, packet, route: Route
     ) -> Optional[Router]:
         """Steer the packet onto an installed TE tunnel, if one applies.
 
@@ -539,14 +945,12 @@ class ForwardingEngine:
         ):
             # One-hop tunnel with implicit null: nothing to push.
             return next_router
-        lse_ttl = packet.ip_ttl if tunnel.ttl_propagate else 255
-        label = self.labels.binding(
-            tunnel.path[1], ("te", tunnel.name)
-        )
+        label = self._bind(packet, tunnel.path[1], ("te", tunnel.name))
         tail_router = self.network.router(tunnel.tail)
-        packet.push(
-            LabelStackEntry(label=label, ttl=lse_ttl),
+        packet.push_label(
+            label,
             Prefix(tail_router.loopback, 32),
+            tunnel.ttl_propagate,
         )
         packet.te_tunnel = tunnel
         return next_router

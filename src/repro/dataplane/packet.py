@@ -98,6 +98,31 @@ class Packet:
             self.te_tunnel = None
         return entry
 
+    # ------------------------------------------------------------------
+    # Dataplane primitives shared with the symbolic trajectory walk
+    # (see repro.dataplane.trajectory.SymbolicPacket for the other
+    # implementation of this protocol).
+
+    def push_label(self, label: int, fec: Prefix, propagate: bool) -> None:
+        """Push a fresh LSE for ``fec``; TTL copies IP under propagate."""
+        ttl = self.ip_ttl if propagate else 255
+        self.push(LabelStackEntry(label=label, ttl=ttl), fec)
+
+    def apply_min(self, popped: LabelStackEntry) -> None:
+        """PHP min rule: ``IP-TTL = min(IP-TTL, popped LSE-TTL)``."""
+        self.ip_ttl = min(self.ip_ttl, popped.ttl)
+
+    def dec_ip(self) -> Optional[int]:
+        """Decrement the IP-TTL; ``-1`` signals expiry, None otherwise."""
+        self.ip_ttl -= 1
+        return -1 if self.ip_ttl <= 0 else None
+
+    def dec_lse(self) -> Optional[int]:
+        """Decrement the top LSE-TTL; ``-1`` on expiry, None otherwise."""
+        entry = self.stack[-1]
+        entry.ttl -= 1
+        return -1 if entry.ttl <= 0 else None
+
     def __repr__(self) -> str:
         label = f", label={self.top.label}" if self.stack else ""
         return (

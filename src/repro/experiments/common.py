@@ -36,6 +36,7 @@ class ContextConfig:
     vantage_points: int = 10
     stubs_per_transit: int = 6
     ttl_propagate_everywhere: bool = False  #: True = visible tunnels
+    workers: int = 1  #: campaign prewarm worker processes
 
 
 class CampaignContext:
@@ -68,7 +69,8 @@ class CampaignContext:
             self.internet.vps,
             self.internet.asn_of_address,
             CampaignConfig(
-                suspicious_asns=tuple(self.internet.transit_asns)
+                suspicious_asns=tuple(self.internet.transit_asns),
+                workers=config.workers,
             ),
         )
         self.result: CampaignResult = self.campaign.run(

@@ -9,7 +9,7 @@ fingerprinting.
 
 from __future__ import annotations
 
-import itertools
+import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -159,9 +159,20 @@ class Prober:
         #: (scamper's gap limit).
         self.gap_limit = gap_limit
         self.probes_sent = 0
-        self._flow_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _flow_for(source: Router, dst: int) -> int:
+        """Deterministic Paris flow identifier for ``(source, dst)``.
+
+        A pure function of the pair — no process-global counter — so
+        any re-measurement of the same pair reuses the same flow (and
+        thus the same ECMP path), and campaigns produce identical
+        flows regardless of probing order or worker sharding.
+        """
+        digest = zlib.crc32(f"{source.name}|{dst}".encode("ascii"))
+        return 1 + (digest & 0xFFFF)
 
     def traceroute(
         self,
@@ -173,11 +184,11 @@ class Prober:
     ) -> Trace:
         """Paris traceroute from ``source`` to ``dst``.
 
-        The flow identifier stays constant across the trace; distinct
-        traces get distinct flows unless ``flow_id`` pins one.
+        The flow identifier stays constant across the trace and is
+        derived from ``(source, dst)`` unless ``flow_id`` pins one.
         """
         if flow_id is None:
-            flow_id = next(self._flow_ids)
+            flow_id = self._flow_for(source, dst)
         trace = Trace(
             source=source.name,
             source_address=source.loopback,
@@ -215,7 +226,7 @@ class Prober:
         router (alias resolution).
         """
         if flow_id is None:
-            flow_id = next(self._flow_ids)
+            flow_id = self._flow_for(source, dst)
         outcome = self.engine.send_probe(
             source, dst, ttl=64, flow_id=flow_id, kind="udp-probe"
         )
@@ -234,7 +245,7 @@ class Prober:
     ) -> PingResult:
         """Echo-request at full TTL (for fingerprinting)."""
         if flow_id is None:
-            flow_id = next(self._flow_ids)
+            flow_id = self._flow_for(source, dst)
         outcome = self.engine.send_probe(
             source, dst, ttl=64, flow_id=flow_id
         )

@@ -19,7 +19,7 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.mpls.rsvp import TeTunnelRegistry
 from repro.net.addressing import Prefix
@@ -94,10 +94,26 @@ class ControlPlane:
         self._route_cache: Dict[Tuple[str, Prefix], Route] = {}
         self._ldp_all_prefixes: Dict[int, bool] = {}
         self._egress_cache: Dict[Tuple[str, int], Optional[Router]] = {}
+        self._invalidation_listeners: List[Callable[[], None]] = []
+
+    def add_invalidation_listener(
+        self, callback: Callable[[], None]
+    ) -> None:
+        """Register a callback fired whenever memoised routes may be
+        stale (``invalidate()`` or a TE tunnel install).  Dependent
+        caches — e.g. the forwarding engine's trajectory cache — hook
+        in here so topology edits cannot leave them serving old paths.
+        """
+        self._invalidation_listeners.append(callback)
+
+    def _notify_invalidation(self) -> None:
+        for callback in self._invalidation_listeners:
+            callback()
 
     def install_te_tunnel(self, tunnel) -> None:
         """Validate and install an RSVP-TE tunnel at its head-end."""
         self.te.install(tunnel, self.network)
+        self._notify_invalidation()
 
     # ------------------------------------------------------------------
     # Sub-plane access
@@ -117,6 +133,7 @@ class ControlPlane:
         self._ldp_all_prefixes.clear()
         self._egress_cache.clear()
         self.bgp.invalidate()
+        self._notify_invalidation()
 
     # ------------------------------------------------------------------
     # LDP policy

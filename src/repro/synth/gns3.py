@@ -80,12 +80,15 @@ class Gns3Testbed:
         network: Network,
         scenario: str,
         vendor: VendorProfile,
+        trajectory_cache: bool = True,
     ) -> None:
         self.network = network
         self.scenario = scenario
         self.vendor = vendor
         self.control = ControlPlane(network)
-        self.engine = ForwardingEngine(network, self.control)
+        self.engine = ForwardingEngine(
+            network, self.control, trajectory_cache=trajectory_cache
+        )
         self.prober = Prober(self.engine)
         self._names: Dict[int, str] = {}
         for router in network.routers.values():
@@ -130,11 +133,14 @@ def build_gns3(
     vendor: VendorProfile = CISCO,
     link_delay_ms: float = 1.0,
     config: Optional[MplsConfig] = None,
+    trajectory_cache: bool = True,
 ) -> Gns3Testbed:
     """Construct the Fig. 2 topology under the given scenario.
 
     Passing ``config`` overrides the scenario's MPLS configuration
     entirely (used for the Table 2 grid sweep).
+    ``trajectory_cache=False`` forces the engine's walk-per-probe
+    dataplane (results are identical either way).
     """
     if config is None:
         config = scenario_config(scenario, vendor)
@@ -171,4 +177,6 @@ def build_gns3(
         delay_ms=link_delay_ms,
     )
     network.validate()
-    return Gns3Testbed(network, scenario, vendor)
+    return Gns3Testbed(
+        network, scenario, vendor, trajectory_cache=trajectory_cache
+    )

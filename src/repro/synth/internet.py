@@ -62,6 +62,9 @@ class InternetConfig:
     inter_delay_range: Tuple[float, float] = (4.0, 25.0)
     #: Extra transit-to-transit adjacencies beyond the backbone ring.
     extra_transit_links: int = 4
+    #: Memoise forwarding trajectories in the engine (False forces the
+    #: original walk-per-probe dataplane; results are identical).
+    trajectory_cache: bool = True
 
 
 class SyntheticInternet:
@@ -71,7 +74,11 @@ class SyntheticInternet:
         self.config = config
         self.network = Network()
         self.control = ControlPlane(self.network)
-        self.engine = ForwardingEngine(self.network, self.control)
+        self.engine = ForwardingEngine(
+            self.network,
+            self.control,
+            trajectory_cache=config.trajectory_cache,
+        )
         self.prober = Prober(self.engine)
         self.profiles: Dict[int, TransitProfile] = {
             profile.asn: profile for profile in config.profiles

@@ -69,12 +69,21 @@ class TestTraceroute:
         assert not trace.destination_reached
         assert len(trace.hops) == 3
 
-    def test_flow_id_distinct_per_trace(self):
+    def test_flow_id_deterministic_per_pair(self):
+        # Flow ids are a pure function of (source, dst): repeating a
+        # measurement reuses the same flow (same ECMP path), while a
+        # different destination hashes to a different flow.
         network, routers = build_chain(3)
         prober = Prober(ForwardingEngine(network))
         t1 = prober.traceroute(routers[0], routers[2].loopback)
         t2 = prober.traceroute(routers[0], routers[2].loopback)
-        assert t1.flow_id != t2.flow_id
+        assert t1.flow_id == t2.flow_id
+        t3 = prober.traceroute(routers[0], routers[1].loopback)
+        assert t3.flow_id != t1.flow_id
+        pinned = prober.traceroute(
+            routers[0], routers[2].loopback, flow_id=7
+        )
+        assert pinned.flow_id == 7
 
     def test_paris_same_flow_same_path(self):
         # ECMP square: R0 -> {A, B} -> R3; one trace takes one branch.
