@@ -14,7 +14,6 @@ address (interface-level graph).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.net.addressing import format_address

@@ -17,11 +17,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.core.revelation import (
-    Revelation,
-    RevelationMethod,
-    reveal_tunnel,
-)
+from repro.core.revelation import Revelation
 from repro.net.router import Router
 from repro.probing.prober import Prober, Trace
 

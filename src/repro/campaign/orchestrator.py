@@ -30,6 +30,7 @@ keys.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 from contextlib import contextmanager
@@ -45,6 +46,7 @@ from repro.core.revelation import (
 from repro.core.rtla import RtlaAnalyzer
 from repro.core.signatures import SignatureInventory
 from repro.net.router import Router
+from repro.obs import Obs
 from repro.probing.prober import PingResult, Prober, Trace
 
 __all__ = [
@@ -52,25 +54,42 @@ __all__ = [
     "Campaign",
 ]
 
+logger = logging.getLogger(__name__)
+
 #: Campaign forked prewarm workers read their work context from here
 #: (set just before the fork, cleared right after).
 _WORKER_CAMPAIGN: Optional["Campaign"] = None
 
-#: Engine counters snapshotted into :class:`PerfStats`.
+#: Registry counters (under ``engine.``) snapshotted into
+#: :class:`PerfStats` as whole-run deltas.
 _ENGINE_COUNTERS = (
     "trajectory_hits", "trajectory_misses", "hops_walked",
     "packets_simulated",
 )
 
 
-def _prewarm_worker(tasks: List[tuple]) -> Dict[tuple, dict]:
-    """Run ``tasks`` in a forked worker; return new trajectory wires."""
+def _prewarm_worker(
+    tasks: List[tuple],
+) -> Tuple[Dict[tuple, dict], Dict[str, int]]:
+    """Run ``tasks`` in a forked worker.
+
+    Returns the trajectory wires the worker built plus its metrics
+    counter deltas (the fork inherited the parent's registry, so only
+    growth since the fork is shipped back).  Event sinks are detached
+    first: a forked worker must never write into the parent's trace
+    file.
+    """
     campaign = _WORKER_CAMPAIGN
     engine = campaign.prober.engine
+    campaign.obs.events.detach_all()
+    base = campaign.obs.metrics.counters_snapshot()
     known = frozenset(engine._trajectories)
     for task in tasks:
         campaign._execute_prewarm(task)
-    return engine.export_trajectories(known)
+    return (
+        engine.export_trajectories(known),
+        campaign.obs.metrics.counter_deltas(base),
+    )
 
 
 @dataclass(frozen=True)
@@ -96,6 +115,10 @@ class CampaignConfig:
 class PerfStats:
     """Performance observability for one campaign run.
 
+    Populated from the campaign's :class:`~repro.obs.metrics.\
+MetricsRegistry` (whole-run ``engine.*`` counter deltas, plus the
+    per-phase attribution recorded by ``Campaign._phase``); the public
+    field shape is stable so reports and older callers keep working.
     Wall-clock is recorded per pipeline phase; the engine counters are
     deltas over the run (they include any parallel prewarm replay the
     parent performed, so ``hit_rate`` directly shows how much of the
@@ -106,6 +129,13 @@ class PerfStats:
     #: Phase name ("trace", "ping", "extract", "revelation") to
     #: wall-clock seconds spent in it (prewarm included).
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Phase name to its engine counter deltas (currently
+    #: ``trajectory_hits`` / ``trajectory_misses``) — the per-phase
+    #: cache attribution the registry records as
+    #: ``phase.<name>.trajectory_hits`` etc.
+    phase_counters: Dict[str, Dict[str, int]] = field(
+        default_factory=dict
+    )
     trajectory_hits: int = 0  #: engine cache hits during the run
     trajectory_misses: int = 0  #: engine cache misses during the run
     hops_walked: int = 0  #: per-hop walk steps executed
@@ -204,38 +234,70 @@ class Campaign:
         self.asn_of = asn_of
         self.config = config or CampaignConfig()
         self._vp_by_name = {vp.name: vp for vp in self.vps}
+        #: One observability bundle for the whole campaign stack —
+        #: shared with the prober/engine when they have one, so every
+        #: layer records into a single metrics registry.
+        self.obs: Obs = getattr(prober, "obs", None) or Obs()
 
     # ------------------------------------------------------------------
     # Phases
 
     def run(self, destinations: Sequence[int]) -> CampaignResult:
         """Full pipeline: trace, ping, extract pairs, reveal."""
+        logger.info(
+            "campaign start: %d destinations, %d VPs, workers=%d",
+            len(destinations), len(self.vps), self.config.workers,
+        )
         result = CampaignResult()
         result.perf.workers = max(1, self.config.workers)
+        result.rtla.bind_obs(self.obs)
+        metrics = self.obs.metrics
+        metrics.inc("campaign.runs")
         counters = self._engine_counters()
-        with self._timed(result, "trace"):
-            self._prewarm([
-                ("trace", vp.name, dst)
-                for vp, dst in self._team_assignment(destinations)
-            ])
-            self.trace_phase(destinations, result)
-        if self.config.ping_discovered:
-            with self._timed(result, "ping"):
+        with self.obs.tracer.span(
+            "campaign.run", destinations=len(destinations),
+            workers=self.config.workers,
+        ):
+            with self._phase(result, "trace"):
                 self._prewarm([
-                    ("ping", vp_name, address)
-                    for vp_name, address in sorted(self._ping_pairs(result))
+                    ("trace", vp.name, dst)
+                    for vp, dst in self._team_assignment(destinations)
                 ])
-                self.ping_phase(result)
-        with self._timed(result, "extract"):
-            self.extract_pairs(result)
-        with self._timed(result, "revelation"):
-            self._prewarm([
-                ("reveal", pair.vp, pair.ingress, pair.egress)
-                for pair in result.pairs
-            ])
-            self.revelation_phase(result)
+                self.trace_phase(destinations, result)
+            if self.config.ping_discovered:
+                with self._phase(result, "ping"):
+                    self._prewarm([
+                        ("ping", vp_name, address)
+                        for vp_name, address in sorted(
+                            self._ping_pairs(result)
+                        )
+                    ])
+                    self.ping_phase(result)
+            with self._phase(result, "extract"):
+                self.extract_pairs(result)
+            with self._phase(result, "revelation"):
+                self._prewarm([
+                    ("reveal", pair.vp, pair.ingress, pair.egress)
+                    for pair in result.pairs
+                ])
+                self.revelation_phase(result)
         for name, end in self._engine_counters().items():
             setattr(result.perf, name, end - counters[name])
+        metrics.inc("campaign.traces", len(result.traces))
+        metrics.inc("campaign.pings", len(result.pings))
+        metrics.inc("campaign.pairs", len(result.pairs))
+        metrics.inc(
+            "campaign.revelations.success",
+            len(result.successful_revelations()),
+        )
+        metrics.inc("campaign.probes", result.probes_sent)
+        metrics.inc("campaign.revelation_probes", result.revelation_probes)
+        logger.info(
+            "campaign done: %d traces, %d pairs, %d revealed, %.3fs",
+            len(result.traces), len(result.pairs),
+            len(result.successful_revelations()),
+            result.perf.total_seconds,
+        )
         return result
 
     def trace_phase(
@@ -380,8 +442,21 @@ class Campaign:
             return
         finally:
             _WORKER_CAMPAIGN = None
-        for wires in wire_sets:
+        metrics = self.obs.metrics
+        installed = 0
+        for wires, delta in wire_sets:
+            installed += len(wires)
             engine.install_trajectories(wires)
+            # Worker-side counters land under ``prewarm.`` so they stay
+            # attributable (and out of the measurement namespace — see
+            # ``measurement_counters``).
+            metrics.merge_counters(delta, prefix="prewarm.")
+        metrics.inc("prewarm.rounds")
+        metrics.inc("prewarm.trajectories_installed", installed)
+        logger.debug(
+            "prewarm: %d tasks over %d workers, %d trajectories",
+            len(tasks), len(shards), installed,
+        )
 
     def _execute_prewarm(self, task: tuple) -> None:
         """Run one prewarm work item (inside a worker process)."""
@@ -407,15 +482,49 @@ class Campaign:
                     self.prober.ping(vp, address)
 
     @contextmanager
-    def _timed(self, result: CampaignResult, phase: str):
-        """Accumulate wall-clock for ``phase`` into the result."""
+    def _phase(self, result: CampaignResult, phase: str):
+        """One pipeline phase: timing, events, cache attribution.
+
+        Replaces the old ad-hoc ``_timed`` helper: wall-clock still
+        accumulates into ``result.perf.phase_seconds``, but the phase
+        now also runs under a tracer span, emits ``phase.start`` /
+        ``phase.end`` events, and attributes the engine's trajectory
+        hit/miss deltas to the phase (both in ``perf.phase_counters``
+        and as ``phase.<name>.*`` registry counters).
+        """
+        metrics = self.obs.metrics
+        events = self.obs.events
+        hits0 = metrics.get("engine.trajectory_hits")
+        misses0 = metrics.get("engine.trajectory_misses")
+        if events.info:
+            events.emit("phase.start", phase=phase)
         start = time.perf_counter()
         try:
-            yield
+            with self.obs.tracer.span("campaign.phase", phase=phase):
+                yield
         finally:
             elapsed = time.perf_counter() - start
             seconds = result.perf.phase_seconds
             seconds[phase] = seconds.get(phase, 0.0) + elapsed
+            hits = metrics.get("engine.trajectory_hits") - hits0
+            misses = metrics.get("engine.trajectory_misses") - misses0
+            metrics.inc(f"phase.{phase}.trajectory_hits", hits)
+            metrics.inc(f"phase.{phase}.trajectory_misses", misses)
+            metrics.set_gauge(f"phase.{phase}.seconds", round(elapsed, 6))
+            counters = result.perf.phase_counters.setdefault(
+                phase, {"trajectory_hits": 0, "trajectory_misses": 0}
+            )
+            counters["trajectory_hits"] += hits
+            counters["trajectory_misses"] += misses
+            if events.info:
+                events.emit(
+                    "phase.end", phase=phase, seconds=round(elapsed, 6),
+                    trajectory_hits=hits, trajectory_misses=misses,
+                )
+            logger.debug(
+                "phase %s: %.3fs, %d cache hits, %d misses",
+                phase, elapsed, hits, misses,
+            )
 
     def _engine_counters(self) -> Dict[str, int]:
         """Snapshot the engine's perf counters (0 when absent)."""
@@ -432,7 +541,7 @@ class Campaign:
         classify: Optional[Callable[[int], str]] = None,
     ) -> FrplaAnalyzer:
         """Build an FRPLA analyzer over the campaign's traces."""
-        analyzer = FrplaAnalyzer(self.asn_of, classify)
+        analyzer = FrplaAnalyzer(self.asn_of, classify, obs=self.obs)
         analyzer.add_traces(result.traces)
         return analyzer
 

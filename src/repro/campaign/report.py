@@ -24,14 +24,23 @@ __all__ = ["render_report", "render_perf_section"]
 def render_perf_section(result: CampaignResult) -> str:
     """Render the performance/observability section for ``result``.
 
-    Shows worker count, per-phase wall-clock, and the forwarding
-    engine's trajectory-cache counters accumulated over the run.
+    Shows worker count, per-phase wall-clock *and* per-phase
+    trajectory-cache deltas (hits/misses attributed to each phase by
+    the metrics registry), plus the engine counters accumulated over
+    the whole run.
     """
     perf = result.perf
     lines: List[str] = ["## Performance", ""]
     rows: List[tuple] = [("workers", perf.workers)]
     for phase, seconds in perf.phase_seconds.items():
-        rows.append((f"{phase} phase", f"{seconds:.3f} s"))
+        cell = f"{seconds:.3f} s"
+        counters = perf.phase_counters.get(phase)
+        if counters is not None:
+            cell += (
+                f" ({counters.get('trajectory_hits', 0)} hits, "
+                f"{counters.get('trajectory_misses', 0)} misses)"
+            )
+        rows.append((f"{phase} phase", cell))
     if perf.phase_seconds:
         rows.append(("total", f"{perf.total_seconds:.3f} s"))
     rows.extend(

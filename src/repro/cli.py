@@ -69,6 +69,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "MPLS Tunnels' (IMC 2017)"
         ),
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase logging verbosity (-v info, -vv debug; one "
+        "setting drives stdlib logging and the structured event log)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     emulate = sub.add_parser(
@@ -103,6 +108,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--report", metavar="PATH", default=None,
         help="write a markdown campaign report",
     )
+    campaign.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the structured event trace as JSONL (all levels)",
+    )
+    campaign.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics registry snapshot (.prom/.txt for "
+        "Prometheus text format, anything else for JSON)",
+    )
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one table/figure"
@@ -134,6 +148,17 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    trace_sink = None
+    if args.trace_out:
+        from repro.obs import DEBUG, JsonlSink, get_event_log
+
+        # Attach before the campaign stack exists: the global event
+        # log is exactly what lets --trace-out capture a run the CLI
+        # has not built yet.
+        trace_sink = JsonlSink(args.trace_out)
+        log = get_event_log()
+        log.attach(trace_sink)
+        log.set_level(DEBUG)
     context = campaign_context(
         ContextConfig(
             scale=args.scale,
@@ -143,6 +168,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     )
     result = context.result
+    registry = context.internet.engine.obs.metrics
+    if trace_sink is not None:
+        from repro.obs import get_event_log
+
+        log = get_event_log()
+        log.emit(
+            "campaign.metrics", counters=registry.counters_snapshot()
+        )
+        log.detach(trace_sink)
+        trace_sink.close()
+    if args.metrics_out:
+        from repro.obs.export import write_metrics
+
+        write_metrics(registry, args.metrics_out)
     print(
         f"{context.internet.network}, {len(context.internet.vps)} VPs; "
         f"{len(result.traces)} traces, {len(result.pairs)} candidate "
@@ -186,6 +225,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
         )
         print(f"report written to {args.report}")
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -229,6 +272,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    from repro.obs import configure
+
+    configure(args.verbose)
     handlers: Dict[str, Callable[[argparse.Namespace], int]] = {
         "emulate": _cmd_emulate,
         "campaign": _cmd_campaign,

@@ -10,13 +10,17 @@ the one before it, and so on backwards until the ingress LER.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.net.router import Router
+from repro.obs import Obs
 from repro.probing.prober import Prober, Trace
 
 __all__ = ["BrprStep", "BrprResult", "backward_recursive_revelation"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -100,23 +104,41 @@ def backward_recursive_revelation(
     and stops when a trace reveals nothing new, stops passing through
     the ingress, or ``max_steps`` is reached.
     """
+    obs = getattr(prober, "obs", None) or Obs()
+    obs.metrics.inc("brpr.attempts")
     result = BrprResult(ingress=ingress, egress=egress)
     exclude = {ingress, egress}
     target = egress
-    for _ in range(max_steps):
-        trace = prober.traceroute(vantage_point, target, start_ttl=start_ttl)
-        new_hop = _new_hop_before(trace, ingress, target, exclude)
-        result.steps.append(
-            BrprStep(
-                target=target,
-                trace=trace,
-                revealed=new_hop,
-                labels_seen=trace.contains_labels(),
+    with obs.tracer.span(
+        "revelation.brpr",
+        vp=vantage_point.name, ingress=ingress, egress=egress,
+    ):
+        for _ in range(max_steps):
+            trace = prober.traceroute(
+                vantage_point, target, start_ttl=start_ttl
             )
+            new_hop = _new_hop_before(trace, ingress, target, exclude)
+            result.steps.append(
+                BrprStep(
+                    target=target,
+                    trace=trace,
+                    revealed=new_hop,
+                    labels_seen=trace.contains_labels(),
+                )
+            )
+            obs.metrics.inc("brpr.steps")
+            if new_hop is None:
+                break
+            result.revealed.insert(0, new_hop)
+            exclude.add(new_hop)
+            target = new_hop
+    if result.success:
+        obs.metrics.inc("brpr.success")
+        obs.metrics.inc("brpr.revealed_hops", len(result.revealed))
+    if obs.events.info:
+        obs.events.emit(
+            "technique.verdict", technique="brpr",
+            success=result.success, ingress=ingress, egress=egress,
+            revealed=len(result.revealed),
         )
-        if new_hop is None:
-            break
-        result.revealed.insert(0, new_hop)
-        exclude.add(new_hop)
-        target = new_hop
     return result

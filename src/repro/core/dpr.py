@@ -10,13 +10,17 @@ hidden LSP in a single extra traceroute.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.net.router import Router
+from repro.obs import Obs
 from repro.probing.prober import Prober, Trace
 
 __all__ = ["DprResult", "direct_path_revelation"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -56,29 +60,44 @@ def direct_path_revelation(
     addresses strictly between the ingress and the egress, in forward
     order.
     """
-    trace = prober.traceroute(vantage_point, egress, start_ttl=start_ttl)
-    result = DprResult(ingress=ingress, egress=egress, trace=trace)
-    addresses = trace.addresses
-    if ingress not in addresses:
-        return result
-    result.through_ingress = True
-    if not trace.destination_reached or egress not in addresses:
-        return result
-    start = addresses.index(ingress)
-    end = addresses.index(egress)
-    if end <= start:
-        return result
-    # Only labels *inside* the candidate tunnel disqualify DPR; other
-    # ASes on the way may legitimately expose explicit tunnels.
-    hops = trace.responsive_hops
-    result.labels_seen = any(
-        hop.has_labels for hop in hops[start : end + 1]
-    )
-    exclude = set(known or ())
-    exclude.update((ingress, egress))
-    result.revealed = [
-        address
-        for address in addresses[start + 1 : end]
-        if address not in exclude
-    ]
+    obs = getattr(prober, "obs", None) or Obs()
+    obs.metrics.inc("dpr.attempts")
+    with obs.tracer.span(
+        "revelation.dpr",
+        vp=vantage_point.name, ingress=ingress, egress=egress,
+    ):
+        trace = prober.traceroute(
+            vantage_point, egress, start_ttl=start_ttl
+        )
+        result = DprResult(ingress=ingress, egress=egress, trace=trace)
+        addresses = trace.addresses
+        if ingress in addresses:
+            result.through_ingress = True
+            if trace.destination_reached and egress in addresses:
+                start = addresses.index(ingress)
+                end = addresses.index(egress)
+                if end > start:
+                    # Only labels *inside* the candidate tunnel
+                    # disqualify DPR; other ASes on the way may
+                    # legitimately expose explicit tunnels.
+                    hops = trace.responsive_hops
+                    result.labels_seen = any(
+                        hop.has_labels for hop in hops[start : end + 1]
+                    )
+                    exclude = set(known or ())
+                    exclude.update((ingress, egress))
+                    result.revealed = [
+                        address
+                        for address in addresses[start + 1 : end]
+                        if address not in exclude
+                    ]
+    if result.success:
+        obs.metrics.inc("dpr.success")
+        obs.metrics.inc("dpr.revealed_hops", len(result.revealed))
+    if obs.events.info:
+        obs.events.emit(
+            "technique.verdict", technique="dpr",
+            success=result.success, ingress=ingress, egress=egress,
+            revealed=len(result.revealed),
+        )
     return result

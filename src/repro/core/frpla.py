@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.signatures import return_path_length
+from repro.obs import Obs
 from repro.probing.prober import Trace, TraceHop
 from repro.stats.distributions import Distribution
 
@@ -77,11 +78,13 @@ class FrplaAnalyzer:
         self,
         asn_of: Callable[[int], Optional[int]],
         classify: Optional[Callable[[int], str]] = None,
+        obs: Optional[Obs] = None,
     ) -> None:
         self._asn_of = asn_of
         self._classify = classify or (lambda address: "all")
         #: (asn, role) -> raw RFA values
         self._values: Dict[tuple, List[int]] = {}
+        self.obs = obs if obs is not None else Obs()
 
     # ------------------------------------------------------------------
 
@@ -90,6 +93,7 @@ class FrplaAnalyzer:
         asn = self._asn_of(sample.address)
         if asn is None:
             return
+        self.obs.metrics.inc("frpla.samples")
         role = self._classify(sample.address)
         self._values.setdefault((asn, role), []).append(sample.rfa)
 
@@ -146,4 +150,12 @@ class FrplaAnalyzer:
             shift = self.shift(asn)
             if shift is not None and shift >= threshold:
                 result.append(asn)
+        # A gauge, not a counter: the verdict is recomputable and
+        # repeated calls must not accumulate.
+        self.obs.metrics.set_gauge("frpla.suspicious_asns", len(result))
+        if self.obs.events.info:
+            self.obs.events.emit(
+                "technique.verdict", technique="frpla",
+                success=bool(result), asns=result,
+            )
         return result

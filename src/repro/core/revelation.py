@@ -15,12 +15,14 @@ the tunnel backwards (BRPR).  The classification follows Table 3:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Tuple
 
 from repro.core.frpla import rfa_of_hop
 from repro.net.router import Router
+from repro.obs import DEBUG, Obs
 from repro.probing.prober import Prober, Trace
 
 __all__ = [
@@ -30,6 +32,8 @@ __all__ = [
     "candidate_endpoints",
     "TunnelAwareTraceroute",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 class RevelationMethod(Enum):
@@ -128,26 +132,55 @@ def reveal_tunnel(
     closest to the ingress becomes the next target, until a trace adds
     nothing or stops passing through the ingress.
     """
+    obs = getattr(prober, "obs", None) or Obs()
+    metrics = obs.metrics
+    events = obs.events
     revelation = Revelation(ingress=ingress, egress=egress)
     exclude = {ingress, egress}
     target = egress
-    for _ in range(max_steps):
-        trace = prober.traceroute(
-            vantage_point, target, start_ttl=start_ttl
-        )
-        revelation.traces_used += 1
-        revelation.probes_used += len(trace.hops)
-        revelation.labels_seen |= trace.contains_labels()
-        fresh = _fresh_between(trace, ingress, target, exclude)
-        if not fresh:
-            break
-        revelation.step_reveals.append(len(fresh))
-        # Revealed hops sit between the ingress and the previous
-        # frontier: prepend in forward order.
-        revelation.revealed[:0] = fresh
-        exclude.update(fresh)
-        target = fresh[0]
+    metrics.inc("revelation.attempts")
+    with obs.tracer.span(
+        "revelation.reveal",
+        vp=vantage_point.name, ingress=ingress, egress=egress,
+    ):
+        for _ in range(max_steps):
+            trace = prober.traceroute(
+                vantage_point, target, start_ttl=start_ttl
+            )
+            revelation.traces_used += 1
+            revelation.probes_used += len(trace.hops)
+            revelation.labels_seen |= trace.contains_labels()
+            metrics.inc("revelation.traces")
+            fresh = _fresh_between(trace, ingress, target, exclude)
+            if events.debug:
+                events.emit(
+                    "revelation.step", DEBUG, ingress=ingress,
+                    egress=egress, target=target,
+                    fresh=list(fresh) if fresh else [],
+                )
+            if not fresh:
+                break
+            metrics.inc("revelation.steps")
+            metrics.inc("revelation.revealed_hops", len(fresh))
+            revelation.step_reveals.append(len(fresh))
+            # Revealed hops sit between the ingress and the previous
+            # frontier: prepend in forward order.
+            revelation.revealed[:0] = fresh
+            exclude.update(fresh)
+            target = fresh[0]
     revelation.method = _classify(revelation)
+    metrics.inc("revelation.verdict." + revelation.method.value)
+    if events.info:
+        events.emit(
+            "revelation.verdict", ingress=ingress, egress=egress,
+            method=revelation.method.value,
+            revealed=len(revelation.revealed),
+        )
+    logger.debug(
+        "revelation %d->%d: %s, %d hops over %d traces",
+        ingress, egress, revelation.method.value,
+        len(revelation.revealed), revelation.traces_used,
+    )
     return revelation
 
 

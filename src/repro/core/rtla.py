@@ -30,6 +30,7 @@ from repro.core.signatures import (
     SignatureInventory,
     return_path_length,
 )
+from repro.obs import Obs
 from repro.probing.prober import PingResult, Trace
 from repro.stats.distributions import Distribution
 
@@ -82,12 +83,27 @@ class RtlaAnalyzer:
     differences instead of the tunnel.
     """
 
-    def __init__(self, inventory: Optional[SignatureInventory] = None) -> None:
+    def __init__(
+        self,
+        inventory: Optional[SignatureInventory] = None,
+        obs: Optional[Obs] = None,
+    ) -> None:
         self.inventory = inventory or SignatureInventory()
         #: best (largest) TE residual TTL per (vp, address)
         self._te_ttl: Dict[Tuple[str, int], int] = {}
         #: best (largest) echo-reply residual TTL per (vp, address)
         self._er_ttl: Dict[Tuple[str, int], int] = {}
+        self.obs = obs if obs is not None else Obs()
+
+    def bind_obs(self, obs: Obs) -> "RtlaAnalyzer":
+        """Redirect future intake counters into ``obs``.
+
+        ``CampaignResult`` default-constructs its analyzer before the
+        campaign can hand over its bundle; the orchestrator re-binds
+        here so RTLA intake lands in the campaign's registry.
+        """
+        self.obs = obs
+        return self
 
     # ------------------------------------------------------------------
     # Intake
@@ -101,6 +117,7 @@ class RtlaAnalyzer:
                 and hop.reply_kind == "time-exceeded"
                 and hop.reply_ttl is not None
             ):
+                self.obs.metrics.inc("rtla.te_observations")
                 key = (trace.source, hop.address)
                 previous = self._te_ttl.get(key)
                 if previous is None or hop.reply_ttl > previous:
@@ -114,6 +131,7 @@ class RtlaAnalyzer:
             and result.reply_ttl is not None
             and result.source is not None
         ):
+            self.obs.metrics.inc("rtla.er_observations")
             key = (result.source, result.dst)
             previous = self._er_ttl.get(key)
             if previous is None or result.reply_ttl > previous:
@@ -169,6 +187,9 @@ class RtlaAnalyzer:
             estimate = self.estimate(address)
             if estimate is not None:
                 results.append(estimate)
+        # Gauge (idempotent): estimates() is a recomputation, not an
+        # accumulation.
+        self.obs.metrics.set_gauge("rtla.estimates", len(results))
         return results
 
     def tunnel_length_distribution(self) -> Distribution:

@@ -35,10 +35,13 @@ concrete walk for every packet.
 
 from __future__ import annotations
 
+import logging
 import zlib
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
+
+from repro.obs import DEBUG, Obs
 
 from repro.dataplane.packet import (
     _KINDS,
@@ -68,6 +71,8 @@ from repro.net.topology import Network
 from repro.routing.control import ControlPlane, Route, RouteKind, flow_choice
 
 __all__ = ["EndReason", "TransitEnd", "ProbeOutcome", "ForwardingEngine"]
+
+logger = logging.getLogger(__name__)
 
 
 class EndReason(Enum):
@@ -153,30 +158,55 @@ class ForwardingEngine:
         control: Optional[ControlPlane] = None,
         max_hops: int = 255,
         trajectory_cache: bool = True,
+        obs: Optional[Obs] = None,
     ) -> None:
         self.network = network
         self.control = control or ControlPlane(network)
         self.max_hops = max_hops
         self.labels = LabelAllocator()
-        #: Count of packets fully simulated (probes + replies).
-        self.packets_simulated = 0
+        #: Observability bundle.  Each engine owns its metrics registry
+        #: (``engine.*`` counters never mix across engines); the event
+        #: log and tracer default to the process-global ones.
+        self.obs = obs if obs is not None else Obs()
+        self._metrics = self.obs.metrics
+        self._events = self.obs.events
         #: Memoise whole journeys per flow; False = legacy re-walks.
         self.trajectory_cache = trajectory_cache
-        #: Trajectory-cache lookups that found a memoised journey.
-        self.trajectory_hits = 0
-        #: Trajectory-cache lookups that had to walk symbolically.
-        self.trajectory_misses = 0
-        #: Per-hop walk steps actually executed (cached evals skip them).
-        self.hops_walked = 0
         self._trajectories: Dict[tuple, Trajectory] = {}
         self.control.add_invalidation_listener(self.flush_trajectories)
 
     # ------------------------------------------------------------------
     # Cache management / observability
 
+    @property
+    def packets_simulated(self) -> int:
+        """Count of packets fully simulated (probes + replies)."""
+        return self._metrics.get("engine.packets_simulated")
+
+    @property
+    def trajectory_hits(self) -> int:
+        """Trajectory-cache lookups that found a memoised journey."""
+        return self._metrics.get("engine.trajectory_hits")
+
+    @property
+    def trajectory_misses(self) -> int:
+        """Trajectory-cache lookups that had to walk symbolically."""
+        return self._metrics.get("engine.trajectory_misses")
+
+    @property
+    def hops_walked(self) -> int:
+        """Per-hop walk steps executed (cached evals skip them)."""
+        return self._metrics.get("engine.hops_walked")
+
     def flush_trajectories(self) -> None:
         """Drop every memoised trajectory (after topology/TE edits)."""
+        dropped = len(self._trajectories)
         self._trajectories.clear()
+        self._metrics.inc("engine.cache_flushes")
+        if dropped:
+            logger.debug("trajectory cache flushed (%d dropped)", dropped)
+            if self._events.debug:
+                self._events.emit("cache.flush", DEBUG, dropped=dropped)
 
     def cache_stats(self) -> Dict[str, object]:
         """Trajectory-cache effectiveness counters, as one dict."""
@@ -236,17 +266,31 @@ class ForwardingEngine:
             raise ValueError(f"unknown packet kind {kind!r}")
         if not 0 <= ttl <= 255:
             raise ValueError(f"IP-TTL out of range: {ttl}")
-        self.packets_simulated += 1
+        metrics = self._metrics
+        metrics.inc("engine.packets_simulated")
         key = (source.name, dst, flow_id, kind)
         trajectory = self._trajectories.get(key)
         if trajectory is None:
-            self.trajectory_misses += 1
-            trajectory = self._build_trajectory(
-                source, source.loopback, dst, flow_id, kind, (), None
-            )
+            metrics.inc("engine.trajectory_misses")
+            if self._events.debug:
+                self._events.emit(
+                    "cache.miss", DEBUG,
+                    origin=source.name, dst=dst, flow=flow_id,
+                )
+            with self.obs.tracer.span(
+                "engine.walk", origin=source.name, dst=dst, flow=flow_id
+            ):
+                trajectory = self._build_trajectory(
+                    source, source.loopback, dst, flow_id, kind, (), None
+                )
             self._trajectories[key] = trajectory
         else:
-            self.trajectory_hits += 1
+            metrics.inc("engine.trajectory_hits")
+            if self._events.debug:
+                self._events.emit(
+                    "cache.hit", DEBUG,
+                    origin=source.name, dst=dst, flow=flow_id,
+                )
         event = trajectory.locate(ttl)
         self._force_bindings(trajectory, event.bindings_used)
         outcome = ProbeOutcome(
@@ -266,7 +310,7 @@ class ForwardingEngine:
         elif info is not _NO_REPLY:
             # The memoised reply walk still counts as one simulated
             # packet, mirroring the legacy per-probe reply simulation.
-            self.packets_simulated += 1
+            metrics.inc("engine.packets_simulated")
         if info is _NO_REPLY:
             return outcome
         outcome.rtt_ms = event.delay_ms + info.delay_ms
@@ -636,7 +680,7 @@ class ForwardingEngine:
         riding a TE tunnel (only hand-crafted test packets do) always
         take the concrete walk.
         """
-        self.packets_simulated += 1
+        self._metrics.inc("engine.packets_simulated")
         if not self.trajectory_cache or packet.te_tunnel is not None:
             return self._walk(packet, origin)
         key = (
@@ -650,14 +694,14 @@ class ForwardingEngine:
         )
         trajectory = self._trajectories.get(key)
         if trajectory is None:
-            self.trajectory_misses += 1
+            self._metrics.inc("engine.trajectory_misses")
             trajectory = self._build_trajectory(
                 origin, packet.src, packet.dst, packet.flow_id,
                 packet.kind, tuple(packet.stack), packet.fec,
             )
             self._trajectories[key] = trajectory
         else:
-            self.trajectory_hits += 1
+            self._metrics.inc("engine.trajectory_hits")
         return self._transit_end(trajectory, packet)
 
     def _walk(self, packet, origin: Router, builder=None):
@@ -676,8 +720,9 @@ class ForwardingEngine:
         path = [origin]
         delay = 0.0
         originating = True
+        inc = self._metrics.inc
         for _ in range(self.max_hops):
-            self.hops_walked += 1
+            inc("engine.hops_walked")
             if not originating:
                 if builder is not None:
                     builder.at(len(path) - 1, delay)

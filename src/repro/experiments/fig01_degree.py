@@ -18,7 +18,6 @@ from repro.experiments.common import (
     campaign_context,
     format_table,
 )
-from repro.stats.distributions import Distribution
 
 __all__ = ["Fig1Result", "run"]
 

@@ -13,13 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.campaign.crossval import (
-    CrossValOutcome,
-    cross_validate,
-    extract_explicit_tunnels,
-)
+from repro.campaign.crossval import cross_validate, extract_explicit_tunnels
 from repro.experiments.common import (
-    CampaignContext,
     ContextConfig,
     campaign_context,
     format_table,

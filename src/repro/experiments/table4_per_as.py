@@ -15,7 +15,6 @@ from typing import Dict, Optional
 
 from repro.campaign.postprocess import AsRevelationSummary
 from repro.experiments.common import (
-    CampaignContext,
     ContextConfig,
     campaign_context,
     format_table,

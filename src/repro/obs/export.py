@@ -1,0 +1,85 @@
+"""Registry exporters: Prometheus text format and JSON.
+
+``to_prometheus`` renders a :class:`~repro.obs.metrics.MetricsRegistry`
+in the Prometheus text exposition format (metric names are sanitised
+and prefixed with ``repro_``; histograms expose the usual cumulative
+``_bucket``/``_sum``/``_count`` series).  ``write_metrics`` picks the
+format from the file suffix — ``.prom``/``.txt`` for Prometheus text,
+anything else for the JSON snapshot — and backs the CLI's
+``repro campaign --metrics-out`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import List, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["to_prometheus", "metrics_json", "write_metrics"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """A raw dotted name as a valid Prometheus metric name."""
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, value in sorted(registry.counters.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in sorted(registry.gauges.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, histogram in sorted(registry.histograms.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.bounds, histogram.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                f"{cumulative}"
+            )
+        lines.append(
+            f'{metric}_bucket{{le="+Inf"}} {histogram.count}'
+        )
+        lines.append(f"{metric}_sum {_format_value(histogram.total)}")
+        lines.append(f"{metric}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+def metrics_json(registry: MetricsRegistry) -> str:
+    """The registry snapshot as pretty-printed JSON."""
+    return json.dumps(registry.snapshot(), indent=2) + "\n"
+
+
+def write_metrics(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write the registry to ``path``; format follows the suffix.
+
+    ``.prom`` and ``.txt`` produce Prometheus text, everything else
+    the JSON snapshot.  Returns the written path.
+    """
+    path = Path(path)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus(registry))
+    else:
+        path.write_text(metrics_json(registry))
+    return path

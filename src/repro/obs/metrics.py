@@ -1,0 +1,259 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the numeric half of the observability subsystem
+(:mod:`repro.obs`).  It is deliberately minimal — plain dictionaries
+and integer adds — because it sits on the simulator's hot path: the
+forwarding engine increments counters per probe and per walked hop.
+No locks are needed: the process is single-threaded, and parallel
+campaigns fork workers that each own a copy-on-write clone of the
+registry and ship counter *deltas* back for an explicit merge
+(:meth:`MetricsRegistry.merge_counters`).
+
+Counter names are dotted paths (``probe.sent.traceroute``,
+``engine.trajectory_hits``).  The first segment is a namespace with
+defined invariance semantics:
+
+* **measurement counters** (``probe.*``, ``trace.*``, ``campaign.*``,
+  ``revelation.*``, ``dpr.*``, ``brpr.*``, ``frpla.*``, ``rtla.*``)
+  describe *what was measured* and are invariant under execution
+  strategy — a ``workers=N`` campaign reports exactly the same totals
+  as a serial run (the measurements are replayed by the same serial
+  code path);
+* **execution counters** (``engine.*``, ``phase.*``, ``prewarm.*``,
+  ``span.*``) describe *how* the run executed (cache hits vs misses,
+  worker prewarm activity, timings) and legitimately differ between
+  serial and parallel runs.
+
+:func:`measurement_counters` filters a registry down to the invariant
+set; the parallel-equals-serial test pins the contract.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "EXECUTION_PREFIXES",
+    "measurement_counters",
+]
+
+#: Default histogram buckets — log-spaced upper bounds suitable for
+#: both small counts (trace hops, revelation steps) and milliseconds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+#: Counter namespaces that depend on the execution strategy (caching,
+#: worker count, wall-clock) rather than on what was measured.
+EXECUTION_PREFIXES: Tuple[str, ...] = (
+    "engine.", "phase.", "prewarm.", "span.",
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram (cumulative on export, like Prometheus).
+
+    ``bounds`` are the inclusive upper bounds of each bucket; one
+    implicit ``+Inf`` bucket catches the overflow.  Observation is one
+    bisect plus two adds.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        #: Per-bucket observation counts (len(bounds) + 1, last = +Inf).
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total: float = 0.0  #: sum of observed values
+        self.count: int = 0  #: number of observations
+
+    def observe(self, value: float) -> None:
+        """Account one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Add another histogram's observations (same bounds required)."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"bucket mismatch: {other.bounds} vs {self.bounds}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.count += other.count
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready dict (bounds, per-bucket counts, sum, count)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms behind dotted names.
+
+    Everything is a plain dict operation; the registry is safe to hit
+    from the forwarding engine's per-probe path.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + value
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Current value of counter ``name``."""
+        return self._counters.get(name, default)
+
+    @property
+    def counters(self) -> Mapping[str, int]:
+        """Live view of every counter (do not mutate)."""
+        return self._counters
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy of all counters."""
+        return dict(self._counters)
+
+    def counter_deltas(self, base: Mapping[str, int]) -> Dict[str, int]:
+        """Per-counter growth since ``base`` (a prior snapshot).
+
+        Counters created after the snapshot appear with their full
+        value; zero deltas are omitted.
+        """
+        deltas: Dict[str, int] = {}
+        for name, value in self._counters.items():
+            delta = value - base.get(name, 0)
+            if delta:
+                deltas[name] = delta
+        return deltas
+
+    def merge_counters(
+        self, deltas: Mapping[str, int], prefix: str = ""
+    ) -> None:
+        """Add ``deltas`` into this registry, optionally re-namespaced.
+
+        Parallel campaigns merge each worker's counter deltas under the
+        ``prewarm.`` prefix so worker activity stays distinguishable
+        from the authoritative serial replay.
+        """
+        for name, value in deltas.items():
+            self.inc(prefix + name, value)
+
+    # ------------------------------------------------------------------
+    # Gauges
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        """Current value of gauge ``name``."""
+        return self._gauges.get(name, default)
+
+    @property
+    def gauges(self) -> Mapping[str, float]:
+        """Live view of every gauge (do not mutate)."""
+        return self._gauges
+
+    # ------------------------------------------------------------------
+    # Histograms
+
+    def histogram(
+        self, name: str, buckets: Optional[Iterable[float]] = None
+    ) -> Histogram:
+        """Fetch (or create) the histogram called ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(buckets or DEFAULT_BUCKETS)
+            self._histograms[name] = histogram
+        return histogram
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Iterable[float]] = None,
+    ) -> None:
+        """Record one observation into histogram ``name``."""
+        self.histogram(name, buckets).observe(value)
+
+    @property
+    def histograms(self) -> Mapping[str, Histogram]:
+        """Live view of every histogram (do not mutate)."""
+        return self._histograms
+
+    # ------------------------------------------------------------------
+    # Whole-registry operations
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready dump of the full registry."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, other: "MetricsRegistry", prefix: str = "") -> None:
+        """Fold another registry into this one.
+
+        Counters and histogram observations add; gauges follow
+        last-write-wins (the merged-in value overwrites).
+        """
+        self.merge_counters(other._counters, prefix)
+        for name, value in other._gauges.items():
+            self._gauges[prefix + name] = value
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(prefix + name)
+            if mine is None:
+                clone = Histogram(histogram.bounds)
+                clone.merge(histogram)
+                self._histograms[prefix + name] = clone
+            else:
+                mine.merge(histogram)
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh CLI runs)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+def measurement_counters(
+    counters: Mapping[str, int]
+) -> Dict[str, int]:
+    """The execution-strategy-invariant subset of ``counters``.
+
+    These are the totals that must be identical between a serial and a
+    ``workers=N`` campaign (see the module docstring for the namespace
+    contract).
+    """
+    return {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith(EXECUTION_PREFIXES)
+    }

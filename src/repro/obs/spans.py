@@ -1,0 +1,130 @@
+"""Span tracing: nested, monotonic-clock timing around code regions.
+
+A span measures one region of work — a campaign phase, one traceroute,
+a symbolic engine walk, one revelation attempt — and records it as a
+``span`` event in the :class:`~repro.obs.events.EventLog` when it
+closes::
+
+    with tracer.span("revelation.dpr", ingress=x, egress=y):
+        ...
+
+Spans nest: the tracer keeps an explicit stack (the process is
+single-threaded) and every record carries its ``span`` id and its
+``parent`` id, so a trace JSONL reconstructs the full call tree —
+campaign run → phase → traceroute → engine walk.
+
+Timing uses ``time.perf_counter`` (monotonic): durations are valid
+even across wall-clock adjustments.
+
+When the event log cannot deliver a span record (no sink attached, or
+the level filtered), ``span()`` returns a shared no-op context manager
+— no object allocation, no clock reads — so instrumentation can stay
+in hot paths permanently.  This replaces the campaign orchestrator's
+former private ``_timed`` helper and extends the same mechanism down
+the stack.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.events import INFO, EventLog
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class _NullSpan:
+    """Shared do-nothing span for a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def annotate(self, **attrs: object) -> None:
+        """No-op (matches :meth:`Span.annotate`)."""
+
+
+#: The singleton returned by a disabled tracer.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; use as a context manager."""
+
+    __slots__ = (
+        "tracer", "name", "attrs", "span_id", "parent_id",
+        "started", "duration",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, object],
+        span_id: int,
+        parent_id: Optional[int],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.started = 0.0
+        self.duration: Optional[float] = None  #: seconds, set on exit
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach extra attributes before the span closes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self.started = time.perf_counter()
+        self.tracer._stack.append(self.span_id)
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> bool:
+        self.duration = time.perf_counter() - self.started
+        stack = self.tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self.tracer._finish(self, failed=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """Creates spans and turns them into ``span`` events."""
+
+    def __init__(self, events: EventLog) -> None:
+        self.events = events
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attrs: object) -> object:
+        """Open a span named ``name``; returns a context manager.
+
+        Returns the shared :data:`NULL_SPAN` when span events would be
+        dropped anyway, keeping disabled tracing allocation-free.
+        """
+        if not self.events.info:
+            return NULL_SPAN
+        span_id = self._next_id
+        self._next_id += 1
+        parent = self._stack[-1] if self._stack else None
+        return Span(self, name, attrs, span_id, parent)
+
+    def _finish(self, span: Span, failed: bool) -> None:
+        """Emit the closing ``span`` record."""
+        fields: Dict[str, object] = {
+            "name": span.name,
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "ms": round((span.duration or 0.0) * 1000.0, 3),
+        }
+        if failed:
+            fields["failed"] = True
+        fields.update(span.attrs)
+        self.events.emit("span", INFO, **fields)

@@ -10,7 +10,6 @@ datasets remain scoreable.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 

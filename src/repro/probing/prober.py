@@ -9,6 +9,7 @@ fingerprinting.
 
 from __future__ import annotations
 
+import logging
 import zlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -17,10 +18,19 @@ from repro.dataplane.engine import ForwardingEngine, ProbeOutcome
 from repro.dataplane.packet import ECHO_REPLY
 from repro.net.addressing import format_address
 from repro.net.router import Router
+from repro.obs import DEBUG, Obs
 
 __all__ = [
     "TraceHop", "Trace", "PingResult", "UdpProbeResult", "Prober",
 ]
+
+logger = logging.getLogger(__name__)
+
+#: Histogram buckets for traceroute lengths (hops per trace).
+_HOP_BUCKETS = (2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 40.0)
+
+#: Histogram buckets for ping round-trip times (milliseconds).
+_RTT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 250.0)
 
 
 @dataclass
@@ -159,6 +169,9 @@ class Prober:
         #: (scamper's gap limit).
         self.gap_limit = gap_limit
         self.probes_sent = 0
+        #: Shares the engine's observability bundle, so probe counters
+        #: land in the same registry as the engine's cache counters.
+        self.obs = getattr(engine, "obs", None) or Obs()
 
     # ------------------------------------------------------------------
 
@@ -195,24 +208,48 @@ class Prober:
             dst=dst,
             flow_id=flow_id,
         )
+        metrics = self.obs.metrics
+        events = self.obs.events
         gap = 0
         limit = max_ttl if max_ttl is not None else self.max_ttl
-        for ttl in range(start_ttl, limit + 1):
-            outcome = self.engine.send_probe(
-                source, dst, ttl=ttl, flow_id=flow_id
-            )
-            self.probes_sent += 1
-            hop = self._hop_from(outcome)
-            trace.hops.append(hop)
-            if not hop.responded:
-                gap += 1
-                if gap >= self.gap_limit:
+        with self.obs.tracer.span(
+            "probe.traceroute", vp=source.name, dst=dst, flow=flow_id
+        ):
+            for ttl in range(start_ttl, limit + 1):
+                outcome = self.engine.send_probe(
+                    source, dst, ttl=ttl, flow_id=flow_id
+                )
+                self.probes_sent += 1
+                metrics.inc("probe.sent.traceroute")
+                reply = outcome.reply_kind or "none"
+                metrics.inc("probe.reply." + reply)
+                if events.debug:
+                    events.emit(
+                        "probe.sent", DEBUG, vp=source.name, dst=dst,
+                        ttl=ttl, flow=flow_id, probe="traceroute",
+                    )
+                    events.emit(
+                        "probe.reply", DEBUG, vp=source.name, dst=dst,
+                        ttl=ttl, reply=reply, responder=outcome.responder,
+                    )
+                hop = self._hop_from(outcome)
+                trace.hops.append(hop)
+                if not hop.responded:
+                    gap += 1
+                    if gap >= self.gap_limit:
+                        metrics.inc("probe.gap_aborts")
+                        if events.debug:
+                            events.emit(
+                                "probe.gap", DEBUG, vp=source.name,
+                                dst=dst, ttl=ttl,
+                            )
+                        break
+                    continue
+                gap = 0
+                if hop.reply_kind == ECHO_REPLY and hop.address == dst:
+                    trace.destination_reached = True
                     break
-                continue
-            gap = 0
-            if hop.reply_kind == ECHO_REPLY and hop.address == dst:
-                trace.destination_reached = True
-                break
+        metrics.observe("trace.hops", len(trace.hops), _HOP_BUCKETS)
         return trace
 
     def udp_probe(
@@ -231,6 +268,9 @@ class Prober:
             source, dst, ttl=64, flow_id=flow_id, kind="udp-probe"
         )
         self.probes_sent += 1
+        metrics = self.obs.metrics
+        metrics.inc("probe.sent.udp")
+        metrics.inc("probe.reply." + (outcome.reply_kind or "none"))
         if outcome.reply_kind != "dest-unreachable":
             return UdpProbeResult(dst=dst, responded=False)
         return UdpProbeResult(
@@ -250,8 +290,23 @@ class Prober:
             source, dst, ttl=64, flow_id=flow_id
         )
         self.probes_sent += 1
+        metrics = self.obs.metrics
+        metrics.inc("probe.sent.ping")
+        reply = outcome.reply_kind or "none"
+        metrics.inc("probe.reply." + reply)
+        events = self.obs.events
+        if events.debug:
+            events.emit(
+                "probe.sent", DEBUG, vp=source.name, dst=dst, ttl=64,
+                flow=flow_id, probe="ping",
+            )
+            events.emit(
+                "probe.reply", DEBUG, vp=source.name, dst=dst, ttl=64,
+                reply=reply, responder=outcome.responder,
+            )
         if outcome.reply_kind != ECHO_REPLY:
             return PingResult(dst=dst, responded=False, source=source.name)
+        metrics.observe("ping.rtt_ms", outcome.rtt_ms, _RTT_BUCKETS)
         return PingResult(
             dst=dst,
             responded=True,

@@ -28,7 +28,6 @@ from repro.net.topology import Network
 from repro.net.vendors import (
     BROCADE,
     CISCO,
-    JUNIPER,
     LdpPolicy,
     VendorProfile,
     profile_named,

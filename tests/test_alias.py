@@ -1,6 +1,5 @@
 """Tests for Mercator-style alias resolution."""
 
-import pytest
 
 from repro.analysis.alias import (
     AliasSets,

@@ -1,6 +1,5 @@
 """Tests for routing-asymmetry measurement."""
 
-import pytest
 
 from repro.analysis.asymmetry import (
     AsymmetryReport,

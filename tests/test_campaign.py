@@ -8,10 +8,8 @@ from repro.campaign.crossval import (
     extract_explicit_tunnels,
 )
 from repro.campaign.orchestrator import Campaign, CampaignConfig
-from repro.campaign.postprocess import Aggregator
 from repro.campaign.targets import select_targets, split_among_teams
 from repro.analysis.itdk import TraceGraph
-from repro.core.revelation import RevelationMethod
 from repro.experiments.common import ContextConfig, campaign_context
 from repro.synth.internet import InternetConfig, build_internet
 from repro.synth.profiles import paper_profiles

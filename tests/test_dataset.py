@@ -127,7 +127,6 @@ class TestDatasetReplay:
         # rebuild the per-AS aggregation from the file alone.
         from repro.campaign.orchestrator import CampaignResult
         from repro.campaign.postprocess import Aggregator
-        from repro.core.revelation import candidate_endpoints
 
         path = tmp_path / "campaign.json"
         save_dataset(

@@ -15,7 +15,6 @@ from repro.mpls.config import MplsConfig, PoppingMode
 from repro.net.topology import Network
 from repro.net.vendors import BROCADE, CISCO, JUNIPER
 from repro.probing.prober import Prober
-from repro.routing.control import ControlPlane
 
 VENDORS = (CISCO, JUNIPER, BROCADE)
 

@@ -5,7 +5,6 @@ claims on the default campaign so a regression in any layer surfaces
 as a failed experiment, not just a changed number.
 """
 
-import pytest
 
 from repro.experiments import (
     fig01_degree,

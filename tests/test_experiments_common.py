@@ -1,9 +1,7 @@
 """Tests for the shared experiment infrastructure."""
 
-import pytest
 
 from repro.experiments.common import (
-    CampaignContext,
     ContextConfig,
     campaign_context,
     format_table,

@@ -9,7 +9,7 @@ the absence of false revelations.
 import pytest
 
 from repro.campaign.orchestrator import Campaign, CampaignConfig
-from repro.core.revelation import RevelationMethod, reveal_tunnel
+from repro.core.revelation import reveal_tunnel
 from repro.synth.failures import (
     disable_rfc4950,
     pick_routers,

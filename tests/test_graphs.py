@@ -1,6 +1,5 @@
 """Tests for aggregate graph metrics and star pseudo-nodes."""
 
-import pytest
 
 from repro.analysis.graphs import (
     average_clustering,

@@ -139,8 +139,8 @@ class TestDeterminism:
         a = build_internet(config)
         b = build_internet(config)
         assert sorted(a.network.routers) == sorted(b.network.routers)
-        assert [str(l.prefix) for l in a.network.links] == [
-            str(l.prefix) for l in b.network.links
+        assert [str(link.prefix) for link in a.network.links] == [
+            str(link.prefix) for link in b.network.links
         ]
         assert [vp.name for vp in a.vps] == [vp.name for vp in b.vps]
 
@@ -159,8 +159,14 @@ class TestDeterminism:
         )
         a = build_internet(base)
         b = build_internet(other)
-        links_a = {tuple(r.name for r in l.routers) for l in a.network.links}
-        links_b = {tuple(r.name for r in l.routers) for l in b.network.links}
+        links_a = {
+            tuple(r.name for r in link.routers)
+            for link in a.network.links
+        }
+        links_b = {
+            tuple(r.name for r in link.routers)
+            for link in b.network.links
+        }
         assert links_a != links_b
 
     def test_probing_is_deterministic(self):

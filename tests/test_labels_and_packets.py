@@ -10,7 +10,6 @@ from repro.dataplane.packet import (
     Packet,
 )
 from repro.mpls.labels import (
-    EXPLICIT_NULL,
     FIRST_UNRESERVED_LABEL,
     IMPLICIT_NULL,
     LabelAllocator,

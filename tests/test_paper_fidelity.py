@@ -4,9 +4,7 @@ Each test pins one sentence of the paper to observable simulator
 behaviour — the long tail of small claims beyond the tables/figures.
 """
 
-import pytest
 
-from repro.campaign.orchestrator import Campaign, CampaignConfig
 from repro.core.revelation import candidate_endpoints, reveal_tunnel
 from repro.dataplane.engine import ForwardingEngine
 from repro.mpls.config import MplsConfig

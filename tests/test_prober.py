@@ -1,6 +1,5 @@
 """Unit tests for the scamper-like prober (traceroute/ping)."""
 
-import pytest
 
 from repro.dataplane.engine import ForwardingEngine
 from repro.net.topology import Network

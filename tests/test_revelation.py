@@ -1,6 +1,5 @@
 """Unit tests for the combined revelation pipeline and its helpers."""
 
-import pytest
 
 from repro.core.revelation import (
     Revelation,

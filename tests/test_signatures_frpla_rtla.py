@@ -1,6 +1,5 @@
 """Unit tests for the analytical techniques: fingerprinting, FRPLA, RTLA."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.frpla import FrplaAnalyzer, RfaSample, rfa_of_hop

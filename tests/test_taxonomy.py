@@ -3,8 +3,6 @@
 import pytest
 
 from repro.core.taxonomy import TunnelClass, classify_trace
-from repro.mpls.config import MplsConfig
-from repro.net.vendors import CISCO
 from repro.synth.failures import disable_rfc4950
 from repro.synth.gns3 import build_gns3
 

@@ -1,0 +1,108 @@
+"""Tests for the standalone trace inspector in ``tools/``."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = (
+    Path(__file__).resolve().parent.parent / "tools" / "trace_inspect.py"
+)
+
+
+@pytest.fixture(scope="module")
+def trace_inspect():
+    spec = importlib.util.spec_from_file_location("trace_inspect", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _records():
+    return [
+        {"kind": "phase.start", "phase": "trace"},
+        {"kind": "probe.sent", "vp": "A", "dst": 1, "ttl": 2,
+         "flow": 9, "probe": "traceroute"},
+        {"kind": "cache.miss", "origin": "A", "dst": 1, "flow": 9},
+        {"kind": "cache.hit", "origin": "A", "dst": 1, "flow": 9},
+        {"kind": "cache.hit", "origin": "A", "dst": 1, "flow": 9},
+        {"kind": "phase.end", "phase": "trace", "seconds": 0.5},
+        {"kind": "probe.sent", "vp": "A", "dst": 2, "ttl": 2,
+         "flow": 9, "probe": "ping"},
+        {"kind": "revelation.verdict", "ingress": 1, "egress": 2,
+         "method": "brpr", "revealed": 3},
+        {"kind": "technique.verdict", "technique": "dpr",
+         "success": True},
+        {"kind": "technique.verdict", "technique": "dpr",
+         "success": False},
+        {"kind": "span", "name": "engine.walk", "span": 1,
+         "parent": None, "ms": 2.0},
+        {"kind": "span", "name": "engine.walk", "span": 2,
+         "parent": None, "ms": 4.0},
+    ]
+
+
+class TestSummarize:
+    def test_probes_bracketed_by_phase(self, trace_inspect):
+        summary = trace_inspect.summarize(_records())
+        assert summary["probes_per_phase"] == {
+            "trace": 1, "(outside)": 1,
+        }
+        assert summary["phase_seconds"] == {"trace": 0.5}
+
+    def test_cache_ratio_from_events(self, trace_inspect):
+        summary = trace_inspect.summarize(_records())
+        assert summary["cache"] == {
+            "hits": 2, "misses": 1,
+            "hit_ratio": pytest.approx(2 / 3),
+        }
+
+    def test_cache_falls_back_to_metrics_counters(self, trace_inspect):
+        records = [{
+            "kind": "campaign.metrics",
+            "counters": {
+                "engine.trajectory_hits": 8,
+                "engine.trajectory_misses": 2,
+            },
+        }]
+        summary = trace_inspect.summarize(records)
+        assert summary["cache"]["hit_ratio"] == pytest.approx(0.8)
+
+    def test_revelation_and_technique_outcomes(self, trace_inspect):
+        summary = trace_inspect.summarize(_records())
+        assert summary["revelation_methods"] == {"brpr": 1}
+        assert summary["technique_verdicts"] == {
+            "dpr": {"success": 1, "failure": 1},
+        }
+
+    def test_span_aggregation(self, trace_inspect):
+        summary = trace_inspect.summarize(_records())
+        assert summary["spans"]["engine.walk"] == {
+            "count": 2, "total_ms": 6.0, "mean_ms": 3.0,
+        }
+
+
+class TestRenderAndMain:
+    def test_render_mentions_every_section(self, trace_inspect):
+        text = trace_inspect.render(trace_inspect.summarize(_records()))
+        assert "Probes per phase" in text
+        assert "72" not in text  # sanity: numbers come from input
+        assert "66.7% hit ratio" in text
+        assert "dpr          1/2 successful" in text
+
+    def test_main_reads_jsonl(self, trace_inspect, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(r) for r in _records()) + "\n"
+            + "not json\n"
+        )
+        assert trace_inspect.main(["trace_inspect", str(path)]) == 0
+        assert "Campaign trace summary" in capsys.readouterr().out
+
+    def test_main_rejects_empty_file(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert trace_inspect.main(["trace_inspect", str(path)]) == 1

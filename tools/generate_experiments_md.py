@@ -1,7 +1,6 @@
 #!/usr/bin/env python3
 """Regenerate EXPERIMENTS.md from actual experiment runs."""
 import io
-import sys
 
 from repro.experiments import (
     fig01_degree, fig04_gns3, fig05_ftl, fig06_rtt, fig07_rfa,

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Summarise a campaign trace JSONL (``repro campaign --trace-out``).
+
+Reads the structured event log produced by the observability subsystem
+and prints an operator-oriented digest: probes per campaign phase, the
+trajectory-cache hit ratio, revelation outcomes per technique, and the
+slowest spans.  Self-contained on purpose — it only needs the JSONL
+file, not the ``repro`` package, so it can run anywhere the artefact
+lands (CI, a laptop, a jump host).
+
+Usage::
+
+    python tools/trace_inspect.py trace.jsonl
+"""
+
+import json
+import sys
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List
+
+
+def load_records(path: str) -> List[dict]:
+    """Parse one record per non-empty line, skipping corrupt lines."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def summarize(records: Iterable[dict]) -> dict:
+    """Digest the record stream into one summary dict.
+
+    Probes are attributed to the campaign phase whose
+    ``phase.start``/``phase.end`` bracket was open when they were sent
+    (``(outside)`` otherwise).  The cache ratio prefers the per-lookup
+    ``cache.hit``/``cache.miss`` events and falls back to the
+    ``campaign.metrics`` counters when the trace was captured at a
+    level that dropped them.
+    """
+    probes_per_phase: Dict[str, int] = Counter()
+    phase_seconds: Dict[str, float] = {}
+    cache = Counter()
+    verdicts: Dict[str, Counter] = defaultdict(Counter)
+    methods = Counter()
+    span_totals: Dict[str, List[float]] = defaultdict(list)
+    counters: Dict[str, int] = {}
+    current_phase = "(outside)"
+
+    for record in records:
+        kind = record.get("kind")
+        if kind == "phase.start":
+            current_phase = str(record.get("phase"))
+        elif kind == "phase.end":
+            phase = str(record.get("phase"))
+            phase_seconds[phase] = (
+                phase_seconds.get(phase, 0.0)
+                + float(record.get("seconds", 0.0))
+            )
+            current_phase = "(outside)"
+        elif kind == "probe.sent":
+            probes_per_phase[current_phase] += 1
+        elif kind == "cache.hit":
+            cache["hits"] += 1
+        elif kind == "cache.miss":
+            cache["misses"] += 1
+        elif kind == "revelation.verdict":
+            methods[str(record.get("method"))] += 1
+        elif kind == "technique.verdict":
+            technique = str(record.get("technique"))
+            outcome = "success" if record.get("success") else "failure"
+            verdicts[technique][outcome] += 1
+        elif kind == "span":
+            span_totals[str(record.get("name"))].append(
+                float(record.get("ms", 0.0))
+            )
+        elif kind == "campaign.metrics":
+            counters = dict(record.get("counters") or {})
+
+    hits, misses = cache["hits"], cache["misses"]
+    if hits + misses == 0 and counters:
+        hits = int(counters.get("engine.trajectory_hits", 0))
+        misses = int(counters.get("engine.trajectory_misses", 0))
+    lookups = hits + misses
+    return {
+        "probes_per_phase": dict(probes_per_phase),
+        "phase_seconds": phase_seconds,
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": hits / lookups if lookups else 0.0,
+        },
+        "revelation_methods": dict(methods),
+        "technique_verdicts": {
+            technique: dict(outcomes)
+            for technique, outcomes in verdicts.items()
+        },
+        "spans": {
+            name: {
+                "count": len(values),
+                "total_ms": round(sum(values), 3),
+                "mean_ms": round(sum(values) / len(values), 3),
+            }
+            for name, values in span_totals.items()
+        },
+        "counters": counters,
+    }
+
+
+def render(summary: dict) -> str:
+    """The summary as aligned, human-readable text."""
+    lines = ["# Campaign trace summary", ""]
+
+    lines.append("## Probes per phase")
+    probes = summary["probes_per_phase"]
+    if probes:
+        for phase, count in sorted(probes.items()):
+            seconds = summary["phase_seconds"].get(phase)
+            timing = f"  ({seconds:.3f} s)" if seconds is not None else ""
+            lines.append(f"  {phase:<12s} {count:>8d}{timing}")
+    else:
+        lines.append("  (no probe.sent events — trace not at debug level)")
+    lines.append("")
+
+    cache = summary["cache"]
+    lines.append("## Trajectory cache")
+    lines.append(
+        f"  {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['hit_ratio']:.1%} hit ratio)"
+    )
+    lines.append("")
+
+    lines.append("## Revelation outcomes")
+    methods = summary["revelation_methods"]
+    if methods:
+        for method, count in sorted(methods.items()):
+            lines.append(f"  {method:<12s} {count:>6d}")
+    else:
+        lines.append("  (no revelation.verdict events)")
+    for technique, outcomes in sorted(
+        summary["technique_verdicts"].items()
+    ):
+        successes = outcomes.get("success", 0)
+        total = successes + outcomes.get("failure", 0)
+        lines.append(
+            f"  {technique:<12s} {successes}/{total} successful"
+        )
+    lines.append("")
+
+    spans = summary["spans"]
+    if spans:
+        lines.append("## Spans (by total time)")
+        ranked = sorted(
+            spans.items(),
+            key=lambda item: item[1]["total_ms"],
+            reverse=True,
+        )
+        for name, stats in ranked:
+            lines.append(
+                f"  {name:<24s} {stats['count']:>6d} x "
+                f"{stats['mean_ms']:>8.3f} ms  "
+                f"(total {stats['total_ms']:.3f} ms)"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    records = load_records(argv[1])
+    if not records:
+        print(f"no records found in {argv[1]}", file=sys.stderr)
+        return 1
+    try:
+        print(render(summarize(records)))
+    except BrokenPipeError:  # e.g. piped into head
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
