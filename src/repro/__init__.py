@@ -6,6 +6,8 @@ The package provides, from the bottom up:
 * a packet-level network simulator with faithful MPLS/TTL mechanics
   (:mod:`repro.net`, :mod:`repro.routing`, :mod:`repro.mpls`,
   :mod:`repro.dataplane`),
+* a backend-agnostic measurement plane — probe backends, budgets,
+  retries, record/replay (:mod:`repro.measure`),
 * Paris-traceroute/ping probing (:mod:`repro.probing`),
 * the paper's four measurement techniques — FRPLA, RTLA, DPR, BRPR —
   and their combined revelation pipeline (:mod:`repro.core`),
@@ -48,6 +50,13 @@ from repro.core.revelation import (
 from repro.core.rtla import RtlaAnalyzer
 from repro.core.signatures import Signature, SignatureInventory
 from repro.dataplane.engine import ForwardingEngine
+from repro.measure import (
+    MeasurementPolicy,
+    ProbeService,
+    RecordingBackend,
+    ReplayBackend,
+    SimBackend,
+)
 from repro.mpls.config import MplsConfig, PoppingMode
 from repro.net.addressing import Prefix, format_address, parse_address
 from repro.net.topology import Network
@@ -76,16 +85,21 @@ __all__ = [
     "JUNIPER",
     "JUNIPER_E",
     "LdpPolicy",
+    "MeasurementPolicy",
     "MplsConfig",
     "Network",
     "PoppingMode",
     "Prefix",
+    "ProbeService",
     "Prober",
+    "RecordingBackend",
+    "ReplayBackend",
     "Revelation",
     "RevelationMethod",
     "RtlaAnalyzer",
     "Signature",
     "SignatureInventory",
+    "SimBackend",
     "SyntheticInternet",
     "Trace",
     "TunnelAwareTraceroute",

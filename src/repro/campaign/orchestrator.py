@@ -45,6 +45,7 @@ from repro.core.revelation import (
 )
 from repro.core.rtla import RtlaAnalyzer
 from repro.core.signatures import SignatureInventory
+from repro.measure.service import BudgetExceeded
 from repro.net.router import Router
 from repro.obs import Obs
 from repro.probing.prober import PingResult, Prober, Trace
@@ -80,14 +81,20 @@ def _prewarm_worker(
     file.
     """
     campaign = _WORKER_CAMPAIGN
-    engine = campaign.prober.engine
+    backend = campaign.prober.backend
     campaign.obs.events.detach_all()
+    service = getattr(campaign.prober, "service", None)
+    if service is not None:
+        # Worker probes warm caches; they must not consume (or trip)
+        # the campaign's probe budgets, whose spend counters the fork
+        # inherited from the parent.
+        service.exempt_budgets()
     base = campaign.obs.metrics.counters_snapshot()
-    known = frozenset(engine._trajectories)
+    known = backend.trajectory_snapshot()
     for task in tasks:
         campaign._execute_prewarm(task)
     return (
-        engine.export_trajectories(known),
+        backend.export_trajectories(known),
         campaign.obs.metrics.counter_deltas(base),
     )
 
@@ -109,6 +116,22 @@ class CampaignConfig:
     #: Worker processes for the parallel trajectory prewarm; 1 = fully
     #: serial.  Results are bit-identical either way.
     workers: int = 1
+    #: Global probe budget for the whole campaign; None = unlimited.
+    #: An exhausted budget stops the run cleanly with a partial result
+    #: (``CampaignResult.partial``).
+    probe_budget: Optional[int] = None
+    #: Per-scope probe budgets as (scope, limit) pairs — scopes are
+    #: the phase names plus "revelation"/"dpr"/"brpr".
+    scope_budgets: Optional[Tuple[Tuple[str, int], ...]] = None
+    #: Retries per probe on timeout (``*`` hops), applied by the
+    #: measurement service.
+    max_retries: int = 0
+    #: Base wall-clock backoff between retries, doubled per attempt.
+    retry_backoff_ms: float = 0.0
+    #: Response-cache mode for the measurement service.  ``"ping"``
+    #: dedupes cross-phase re-pings of addresses whose replies were
+    #: already observed (see ``campaign.pings_saved``).
+    cache_mode: str = "ping"
 
 
 @dataclass
@@ -179,6 +202,11 @@ class CampaignResult:
     rtla: RtlaAnalyzer = field(default_factory=RtlaAnalyzer)
     probes_sent: int = 0
     revelation_probes: int = 0
+    #: True when the run stopped early (probe budget exhausted); the
+    #: populated phases still hold valid partial measurements.
+    partial: bool = False
+    #: Human-readable reason the run stopped early, when it did.
+    stop_reason: Optional[str] = None
     #: Timings and cache counters; excluded from equality so parallel
     #: and serial runs of the same campaign still compare equal.
     perf: PerfStats = field(default_factory=PerfStats, compare=False)
@@ -238,6 +266,21 @@ class Campaign:
         #: shared with the prober/engine when they have one, so every
         #: layer records into a single metrics registry.
         self.obs: Obs = getattr(prober, "obs", None) or Obs()
+        #: The prober's measurement service (None for duck-typed
+        #: probers); the campaign installs its policy on it.
+        self.service = getattr(prober, "service", None)
+        if self.service is not None:
+            self.service.configure(
+                probe_budget=self.config.probe_budget,
+                scope_budgets=(
+                    dict(self.config.scope_budgets)
+                    if self.config.scope_budgets
+                    else None
+                ),
+                max_retries=self.config.max_retries,
+                retry_backoff_ms=self.config.retry_backoff_ms,
+                cache_mode=self.config.cache_mode,
+            )
 
     # ------------------------------------------------------------------
     # Phases
@@ -253,36 +296,60 @@ class Campaign:
         result.rtla.bind_obs(self.obs)
         metrics = self.obs.metrics
         metrics.inc("campaign.runs")
+        if self.service is not None:
+            # Response caching is per run: a fresh run must never
+            # serve replies measured by a previous one.
+            self.service.flush_cache()
+        cache_hits_before = metrics.get("measure.cache.hits")
         counters = self._engine_counters()
         with self.obs.tracer.span(
             "campaign.run", destinations=len(destinations),
             workers=self.config.workers,
         ):
-            with self._phase(result, "trace"):
-                self._prewarm([
-                    ("trace", vp.name, dst)
-                    for vp, dst in self._team_assignment(destinations)
-                ])
-                self.trace_phase(destinations, result)
-            if self.config.ping_discovered:
-                with self._phase(result, "ping"):
+            try:
+                with self._phase(result, "trace"):
                     self._prewarm([
-                        ("ping", vp_name, address)
-                        for vp_name, address in sorted(
-                            self._ping_pairs(result)
+                        ("trace", vp.name, dst)
+                        for vp, dst in self._team_assignment(
+                            destinations
                         )
                     ])
-                    self.ping_phase(result)
-            with self._phase(result, "extract"):
-                self.extract_pairs(result)
-            with self._phase(result, "revelation"):
-                self._prewarm([
-                    ("reveal", pair.vp, pair.ingress, pair.egress)
-                    for pair in result.pairs
-                ])
-                self.revelation_phase(result)
+                    self.trace_phase(destinations, result)
+                if self.config.ping_discovered:
+                    with self._phase(result, "ping"):
+                        self._prewarm([
+                            ("ping", vp_name, address)
+                            for vp_name, address in sorted(
+                                self._ping_pairs(result)
+                            )
+                        ])
+                        self.ping_phase(result)
+                with self._phase(result, "extract"):
+                    self.extract_pairs(result)
+                with self._phase(result, "revelation"):
+                    self._prewarm([
+                        ("reveal", pair.vp, pair.ingress, pair.egress)
+                        for pair in result.pairs
+                    ])
+                    self.revelation_phase(result)
+            except BudgetExceeded as exc:
+                # A clean early stop: keep everything measured so far
+                # and report why the remainder is missing.
+                result.partial = True
+                result.stop_reason = str(exc)
+                metrics.inc("campaign.partial_runs")
+                if self.obs.events.info:
+                    self.obs.events.emit(
+                        "campaign.partial", reason=str(exc),
+                        scope=exc.scope, budget=exc.budget,
+                    )
+                logger.warning("campaign stopped early: %s", exc)
         for name, end in self._engine_counters().items():
             setattr(result.perf, name, end - counters[name])
+        metrics.inc(
+            "campaign.pings_saved",
+            metrics.get("measure.cache.hits") - cache_hits_before,
+        )
         metrics.inc("campaign.traces", len(result.traces))
         metrics.inc("campaign.pings", len(result.pings))
         metrics.inc("campaign.pairs", len(result.pairs))
@@ -306,14 +373,17 @@ class Campaign:
         """Traceroute each destination from its team's VPs."""
         teams = self._team_assignment(destinations)
         before = self.prober.probes_sent
-        for vp, dst in teams:
-            trace = self.prober.traceroute(
-                vp, dst, start_ttl=self.config.start_ttl
-            )
-            result.traces.append(trace)
-            result.inventory.observe_trace(trace)
-            result.rtla.add_trace(trace)
-        result.probes_sent += self.prober.probes_sent - before
+        try:
+            for vp, dst in teams:
+                trace = self.prober.traceroute(
+                    vp, dst, start_ttl=self.config.start_ttl
+                )
+                result.traces.append(trace)
+                result.inventory.observe_trace(trace)
+                result.rtla.add_trace(trace)
+        finally:
+            # Account even when a probe budget stops the phase early.
+            result.probes_sent += self.prober.probes_sent - before
 
     def ping_phase(self, result: CampaignResult) -> None:
         """Ping every address seen in the traces (fingerprinting).
@@ -325,18 +395,29 @@ class Campaign:
         ``result.pings`` keeps the *first responsive* ping per address
         (an unresponsive placeholder is upgraded once), so the mapping
         is deterministic under any shard/merge order.
+
+        The pair set includes trace *destinations*, whose echo-replies
+        the trace phase already observed — historically those were
+        re-probed on the wire.  With ping caching on (the campaign
+        default) the measurement service serves them from replies
+        seeded during the trace phase; the saved probes surface as the
+        ``campaign.pings_saved`` counter.
         """
         before = self.prober.probes_sent
-        for vp_name, address in sorted(self._ping_pairs(result)):
-            ping = self.prober.ping(self._vp_by_name[vp_name], address)
-            existing = result.pings.get(address)
-            if existing is None or (
-                ping.responded and not existing.responded
-            ):
-                result.pings[address] = ping
-            result.inventory.observe_ping(ping)
-            result.rtla.add_ping(ping)
-        result.probes_sent += self.prober.probes_sent - before
+        try:
+            for vp_name, address in sorted(self._ping_pairs(result)):
+                ping = self.prober.ping(
+                    self._vp_by_name[vp_name], address
+                )
+                existing = result.pings.get(address)
+                if existing is None or (
+                    ping.responded and not existing.responded
+                ):
+                    result.pings[address] = ping
+                result.inventory.observe_ping(ping)
+                result.rtla.add_ping(ping)
+        finally:
+            result.probes_sent += self.prober.probes_sent - before
 
     def _ping_pairs(self, result: CampaignResult) -> Set[Tuple[str, int]]:
         """The (vp name, address) pairs the ping phase will probe."""
@@ -386,6 +467,15 @@ class Campaign:
     def revelation_phase(self, result: CampaignResult) -> None:
         """Run the DPR/BRPR recursion on every candidate pair."""
         before = self.prober.probes_sent
+        try:
+            self._reveal_pairs(result)
+        finally:
+            result.revelation_probes = (
+                self.prober.probes_sent - before
+            )
+
+    def _reveal_pairs(self, result: CampaignResult) -> None:
+        """The revelation loop proper (split out for accounting)."""
         for pair in result.pairs:
             vp = self._vp_by_name[pair.vp]
             revelation = reveal_tunnel(
@@ -407,7 +497,6 @@ class Campaign:
                     result.pings[trace_address] = ping
                     result.inventory.observe_ping(ping)
                     result.rtla.add_ping(ping)
-        result.revelation_probes = self.prober.probes_sent - before
 
     # ------------------------------------------------------------------
     # Parallel prewarm
@@ -423,11 +512,13 @@ class Campaign:
         unavailable — the phase then simply runs serially cold.
         """
         workers = self.config.workers
-        engine = self.prober.engine
+        backend = getattr(self.prober, "backend", None)
         if (
             workers <= 1
             or not tasks
-            or not getattr(engine, "trajectory_cache", False)
+            or backend is None
+            or not getattr(backend, "trajectory_cache", False)
+            or not hasattr(backend, "export_trajectories")
         ):
             return
         shards = [tasks[i::workers] for i in range(workers)]
@@ -446,7 +537,7 @@ class Campaign:
         installed = 0
         for wires, delta in wire_sets:
             installed += len(wires)
-            engine.install_trajectories(wires)
+            backend.install_trajectories(wires)
             # Worker-side counters land under ``prewarm.`` so they stay
             # attributable (and out of the measurement namespace — see
             # ``measurement_counters``).
@@ -501,7 +592,11 @@ class Campaign:
         start = time.perf_counter()
         try:
             with self.obs.tracer.span("campaign.phase", phase=phase):
-                yield
+                if self.service is not None:
+                    with self.service.scope(phase):
+                        yield
+                else:
+                    yield
         finally:
             elapsed = time.perf_counter() - start
             seconds = result.perf.phase_seconds
@@ -528,7 +623,7 @@ class Campaign:
 
     def _engine_counters(self) -> Dict[str, int]:
         """Snapshot the engine's perf counters (0 when absent)."""
-        engine = self.prober.engine
+        engine = getattr(self.prober, "engine", None)
         return {
             name: getattr(engine, name, 0) for name in _ENGINE_COUNTERS
         }

@@ -75,6 +75,12 @@ def render_report(
     """Render the markdown report for ``result``."""
     names = as_names or {}
     lines: List[str] = [f"# {title}", ""]
+    if result.partial:
+        lines.append(
+            f"> **Partial run** — {result.stop_reason}. The tables "
+            "below cover only what was measured before the stop."
+        )
+        lines.append("")
 
     # ------------------------------------------------------------------
     lines.append("## Campaign volume")

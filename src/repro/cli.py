@@ -97,6 +97,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "(results are bit-identical to a serial run)",
     )
     campaign.add_argument(
+        "--probe-budget", type=int, default=None, metavar="N",
+        help="stop cleanly (partial result) after N probes",
+    )
+    campaign.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="re-probe unresponsive (*) hops up to N times",
+    )
+    log_group = campaign.add_mutually_exclusive_group()
+    log_group.add_argument(
+        "--record", metavar="PATH", default=None,
+        help="record every probe exchange to a JSONL probe log",
+    )
+    log_group.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="serve probes from a recorded probe log (no simulation)",
+    )
+    campaign.add_argument(
         "--stats", action="store_true",
         help="print per-phase timings and engine cache counters",
     )
@@ -165,6 +182,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seed=args.seed,
             vantage_points=args.vantage_points,
             workers=args.workers,
+            probe_budget=args.probe_budget,
+            max_retries=args.max_retries,
+            record_path=args.record,
+            replay_path=args.replay,
         )
     )
     result = context.result
@@ -187,6 +208,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"{len(result.traces)} traces, {len(result.pairs)} candidate "
         f"pairs, {len(result.successful_revelations())} tunnels revealed"
     )
+    if result.partial:
+        print(f"PARTIAL RUN: {result.stop_reason}")
+    if args.record:
+        print(f"probe log recorded to {args.record}")
+    if args.replay:
+        print(f"probes replayed from {args.replay}")
     if args.stats:
         from repro.campaign.report import render_perf_section
 

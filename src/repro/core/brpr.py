@@ -11,6 +11,7 @@ the one before it, and so on backwards until the ingress LER.
 from __future__ import annotations
 
 import logging
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -109,10 +110,12 @@ def backward_recursive_revelation(
     result = BrprResult(ingress=ingress, egress=egress)
     exclude = {ingress, egress}
     target = egress
+    service = getattr(prober, "service", None)
+    scope = service.scope("brpr") if service is not None else nullcontext()
     with obs.tracer.span(
         "revelation.brpr",
         vp=vantage_point.name, ingress=ingress, egress=egress,
-    ):
+    ), scope:
         for _ in range(max_steps):
             trace = prober.traceroute(
                 vantage_point, target, start_ttl=start_ttl

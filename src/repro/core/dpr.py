@@ -11,6 +11,7 @@ hidden LSP in a single extra traceroute.
 from __future__ import annotations
 
 import logging
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -62,10 +63,12 @@ def direct_path_revelation(
     """
     obs = getattr(prober, "obs", None) or Obs()
     obs.metrics.inc("dpr.attempts")
+    service = getattr(prober, "service", None)
+    scope = service.scope("dpr") if service is not None else nullcontext()
     with obs.tracer.span(
         "revelation.dpr",
         vp=vantage_point.name, ingress=ingress, egress=egress,
-    ):
+    ), scope:
         trace = prober.traceroute(
             vantage_point, egress, start_ttl=start_ttl
         )

@@ -16,6 +16,7 @@ the tunnel backwards (BRPR).  The classification follows Table 3:
 from __future__ import annotations
 
 import logging
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Tuple
@@ -139,10 +140,18 @@ def reveal_tunnel(
     exclude = {ingress, egress}
     target = egress
     metrics.inc("revelation.attempts")
+    # Charge the probes below to the "revelation" budget scope when the
+    # prober routes through a measurement service.
+    service = getattr(prober, "service", None)
+    scope = (
+        service.scope("revelation")
+        if service is not None
+        else nullcontext()
+    )
     with obs.tracer.span(
         "revelation.reveal",
         vp=vantage_point.name, ingress=ingress, egress=egress,
-    ):
+    ), scope:
         for _ in range(max_steps):
             trace = prober.traceroute(
                 vantage_point, target, start_ttl=start_ttl

@@ -16,6 +16,8 @@ from typing import Optional, Sequence
 from repro.campaign.orchestrator import Campaign, CampaignConfig, CampaignResult
 from repro.campaign.postprocess import Aggregator
 from repro.core.frpla import FrplaAnalyzer
+from repro.measure import RecordingBackend, ReplayBackend, SimBackend
+from repro.probing.prober import Prober
 from repro.synth.internet import InternetConfig, SyntheticInternet, build_internet
 from repro.synth.profiles import paper_profiles
 
@@ -37,6 +39,13 @@ class ContextConfig:
     stubs_per_transit: int = 6
     ttl_propagate_everywhere: bool = False  #: True = visible tunnels
     workers: int = 1  #: campaign prewarm worker processes
+    #: Global probe budget; None = unlimited (partial results when hit).
+    probe_budget: Optional[int] = None
+    max_retries: int = 0  #: per-probe retries on timeout
+    #: Record every probe exchange to this JSONL probe log.
+    record_path: Optional[str] = None
+    #: Serve every probe from this probe log instead of the simulator.
+    replay_path: Optional[str] = None
 
 
 class CampaignContext:
@@ -64,18 +73,25 @@ class CampaignContext:
                 seed=config.seed,
             )
         )
+        prober, recording = self._build_prober(config)
         self.campaign = Campaign(
-            self.internet.prober,
+            prober,
             self.internet.vps,
             self.internet.asn_of_address,
             CampaignConfig(
                 suspicious_asns=tuple(self.internet.transit_asns),
                 workers=config.workers,
+                probe_budget=config.probe_budget,
+                max_retries=config.max_retries,
             ),
         )
-        self.result: CampaignResult = self.campaign.run(
-            self.internet.campaign_targets()
-        )
+        try:
+            self.result: CampaignResult = self.campaign.run(
+                self.internet.campaign_targets()
+            )
+        finally:
+            if recording is not None:
+                recording.close()
         self.aggregator = Aggregator(
             self.result,
             self.internet.asn_of_address,
@@ -86,6 +102,31 @@ class CampaignContext:
         )
 
     # ------------------------------------------------------------------
+
+    def _build_prober(self, config: ContextConfig):
+        """The campaign's prober, honouring record/replay settings.
+
+        Returns ``(prober, recording)`` where ``recording`` is the
+        :class:`RecordingBackend` to close after the run (or None).
+        The synthetic Internet is built either way — replay still
+        needs its topology metadata (VPs, IP-to-AS, ground truth) —
+        but under ``replay_path`` every probe is answered from the log
+        instead of the simulator.
+        """
+        if config.replay_path is not None:
+            return (
+                Prober(
+                    ReplayBackend(config.replay_path),
+                    obs=self.internet.engine.obs,
+                ),
+                None,
+            )
+        if config.record_path is not None:
+            recording = RecordingBackend(
+                SimBackend(self.internet.engine), config.record_path
+            )
+            return Prober(recording), recording
+        return self.internet.prober, None
 
     def _alias_of(self, address: int) -> Optional[str]:
         router = self.internet.router_of_address(address)

@@ -1,0 +1,510 @@
+"""ProbeService: cross-cutting measurement policy over any backend.
+
+The service owns everything a real campaign has to care about beyond
+"send a probe": per-campaign and per-technique probe budgets,
+retry-with-backoff on timeouts, per-probe and per-trace deadlines,
+and a response cache that stops the pipeline from re-probing addresses
+it already measured.  Composers (:class:`~repro.probing.prober.\
+Prober`) and the techniques talk to the service; the service talks to
+a :class:`~repro.measure.backend.ProbeBackend`.
+
+Everything the service does is deterministic given a deterministic
+backend — budgets count probes, deadlines count *simulated*
+measurement milliseconds (reply RTTs), and the cache is keyed on the
+request — so its ``measure.*`` counters belong to the measurement
+namespace of :func:`repro.obs.measurement_counters` and stay invariant
+across execution strategies (serial vs. parallel prewarm, live vs.
+replay).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.measure.backend import (
+    ECHO_REQUEST,
+    PING_TTL,
+    UDP_PROBE,
+    ProbeBackend,
+    ProbeReply,
+    ProbeRequest,
+)
+from repro.obs import DEBUG, Obs
+
+__all__ = [
+    "BudgetExceeded",
+    "MeasurementPolicy",
+    "TraceBudget",
+    "ProbeService",
+]
+
+
+class BudgetExceeded(RuntimeError):
+    """A probe would exceed a configured probe budget.
+
+    Carries the offending scope (``"campaign"`` for the global
+    budget), the configured limit, and the probes already spent — so
+    orchestrators can report a clean partial result.
+    """
+
+    def __init__(self, scope: str, budget: int, spent: int) -> None:
+        super().__init__(
+            f"probe budget exhausted in scope {scope!r}: "
+            f"{spent} of {budget} probes spent"
+        )
+        self.scope = scope  #: budget scope that tripped
+        self.budget = budget  #: configured probe limit
+        self.spent = spent  #: probes already charged to the scope
+
+
+@dataclass(frozen=True)
+class MeasurementPolicy:
+    """Declarative measurement policy, consumed by the service.
+
+    The defaults are maximally permissive — no budgets, no retries, no
+    deadlines, no caching — so a bare service behaves exactly like the
+    backend underneath it.  Campaigns install their policy via
+    :meth:`ProbeService.configure`.
+    """
+
+    #: Global probe budget; None = unlimited.
+    probe_budget: Optional[int] = None
+    #: Per-scope probe budgets, e.g. ``{"revelation": 500}``.  A scope
+    #: is entered via :meth:`ProbeService.scope`; nested scopes all
+    #: charge.  None = no per-scope limits.
+    scope_budgets: Optional[Mapping[str, int]] = None
+    #: Retries per probe when the reply times out (``*`` hop).
+    max_retries: int = 0
+    #: Base wall-clock backoff between retries, doubled per attempt.
+    #: 0 disables sleeping (the right setting for the simulator).
+    retry_backoff_ms: float = 0.0
+    #: Replies slower than this (simulated RTT, ms) count as timeouts.
+    probe_deadline_ms: Optional[float] = None
+    #: Cap on cumulative reply RTT per trace (simulated ms); the
+    #: composer truncates the trace once exceeded.
+    trace_deadline_ms: Optional[float] = None
+    #: Response-cache mode: ``"off"`` (default), ``"ping"`` (cache
+    #: full-TTL echo replies, keyed ``(source, dst, flow)``), or
+    #: ``"all"`` (additionally cache per-TTL traceroute replies).
+    cache_mode: str = "off"
+
+
+class TraceBudget:
+    """Per-trace deadline accumulator (simulated milliseconds).
+
+    Handed out by :meth:`ProbeService.begin_trace`; the service
+    charges each reply's RTT against it and the composer stops the
+    trace once :attr:`expired`.
+    """
+
+    __slots__ = ("limit_ms", "spent_ms")
+
+    def __init__(self, limit_ms: float) -> None:
+        self.limit_ms = limit_ms  #: deadline, in simulated ms
+        self.spent_ms = 0.0  #: cumulative reply RTT charged so far
+
+    @property
+    def expired(self) -> bool:
+        """True once the cumulative RTT reached the deadline."""
+        return self.spent_ms >= self.limit_ms
+
+    def charge(self, rtt_ms: float) -> None:
+        """Charge one reply's RTT against the deadline."""
+        self.spent_ms += rtt_ms
+
+
+class ProbeService:
+    """Budgeted, retrying, caching front end over a probe backend.
+
+    One service per measurement stack: the prober, the techniques, and
+    the orchestrator all submit through it, so budgets and the
+    response cache see every probe.  The service shares the backend's
+    observability bundle when it has one, keeping ``measure.*`` and
+    ``probe.*`` counters in the same registry as everything else.
+    """
+
+    def __init__(
+        self,
+        backend: ProbeBackend,
+        policy: Optional[MeasurementPolicy] = None,
+        obs: Optional[Obs] = None,
+    ) -> None:
+        self.backend = backend
+        self.policy = policy or MeasurementPolicy()
+        #: Observability bundle (backend's, unless overridden).
+        self.obs: Obs = obs or getattr(backend, "obs", None) or Obs()
+        #: Probes actually submitted to the backend (cache hits and
+        #: budget denials do not count).
+        self.probes_sent = 0
+        self._scopes: List[str] = []
+        self._scope_spent: Dict[str, int] = {}
+        self._cache: Dict[tuple, ProbeReply] = {}
+        self._unmetered = False
+        # Backends wrapping a simulator invalidate cached replies when
+        # the control plane changes under them.
+        register = getattr(backend, "add_invalidation_listener", None)
+        if callable(register):
+            register(self.flush_cache)
+
+    # ------------------------------------------------------------------
+    # Policy management
+
+    def configure(self, **overrides: object) -> MeasurementPolicy:
+        """Replace policy fields in place; returns the new policy."""
+        self.policy = replace(self.policy, **overrides)
+        return self.policy
+
+    def exempt_budgets(self) -> None:
+        """Stop enforcing budgets on this service instance.
+
+        Used by forked prewarm workers: they inherit the parent's
+        spend counters but their probes warm caches rather than
+        consume the campaign's budget.
+        """
+        self._unmetered = True
+
+    @contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Enter a named budget scope (technique or campaign phase).
+
+        Probes submitted inside charge the scope's budget (if one is
+        configured in :attr:`MeasurementPolicy.scope_budgets`); scopes
+        nest, and every active scope is charged.
+        """
+        self._scopes.append(name)
+        try:
+            yield
+        finally:
+            self._scopes.pop()
+
+    def scope_spent(self, name: str) -> int:
+        """Probes charged to scope ``name`` so far."""
+        return self._scope_spent.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Single-probe API (the composer surface)
+
+    def traceroute_probe(
+        self,
+        source: str,
+        dst: int,
+        ttl: int,
+        flow_id: int,
+        trace_budget: Optional[TraceBudget] = None,
+    ) -> ProbeReply:
+        """One TTL-limited echo-request, under full policy."""
+        request = ProbeRequest(source, dst, ttl, flow_id, ECHO_REQUEST)
+        key = None
+        if self.policy.cache_mode == "all":
+            key = ("probe", source, dst, flow_id, ttl)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return self._serve_cached(request, cached, trace_budget)
+        reply = self._submit_with_retries(request, "traceroute")
+        if key is not None:
+            self._cache[key] = reply
+        if trace_budget is not None:
+            self._charge_trace(trace_budget, reply)
+        return reply
+
+    def ping_probe(
+        self, source: str, dst: int, flow_id: int, ttl: int = PING_TTL
+    ) -> ProbeReply:
+        """One full-TTL echo-request, under full policy.
+
+        With caching enabled, a repeated ping of the same
+        ``(source, dst, flow)`` is served from the cache — including
+        replies seeded from a destination-reached traceroute, which in
+        a deterministic dataplane are byte-identical to what a fresh
+        ping would observe.
+        """
+        request = ProbeRequest(source, dst, ttl, flow_id, ECHO_REQUEST)
+        key = self._ping_key(request)
+        if key is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                return self._serve_cached(request, cached, None)
+        reply = self._submit_with_retries(request, "ping")
+        if key is not None:
+            self._cache[key] = reply
+        return reply
+
+    def udp_probe(
+        self, source: str, dst: int, flow_id: int, ttl: int = PING_TTL
+    ) -> ProbeReply:
+        """One UDP alias probe, under budget/retry policy (uncached)."""
+        request = ProbeRequest(source, dst, ttl, flow_id, UDP_PROBE)
+        return self._submit_with_retries(request, "udp")
+
+    def seed_ping(
+        self, source: str, dst: int, flow_id: int, reply: ProbeReply
+    ) -> None:
+        """Pre-populate the ping cache from an equivalent observation.
+
+        A traceroute that reached its destination already holds the
+        destination's echo-reply; seeding it here lets a later ping of
+        the same ``(source, dst, flow)`` skip the wire entirely.  A
+        no-op unless ping caching is enabled.
+        """
+        key = self._ping_key(
+            ProbeRequest(source, dst, PING_TTL, flow_id, ECHO_REQUEST)
+        )
+        if key is not None and key not in self._cache:
+            self._cache[key] = reply
+            self.obs.metrics.inc("measure.cache.seeded")
+
+    def begin_trace(self) -> Optional[TraceBudget]:
+        """A fresh per-trace deadline, or None when unconfigured."""
+        limit = self.policy.trace_deadline_ms
+        return None if limit is None else TraceBudget(limit)
+
+    # ------------------------------------------------------------------
+    # Batch API
+
+    def traceroute_batch(
+        self, requests: Sequence[ProbeRequest]
+    ) -> List[ProbeReply]:
+        """Batch traceroute probes under full policy.
+
+        The uncached remainder is budget-checked all-or-nothing, then
+        submitted through the backend's batch path; timeouts are
+        retried individually afterwards.
+        """
+        keyer: Callable[[ProbeRequest], Optional[tuple]] = (
+            lambda r: ("probe", r.source, r.dst, r.flow_id, r.ttl)
+            if self.policy.cache_mode == "all"
+            else None
+        )
+        return self._batch(requests, "traceroute", keyer)
+
+    def ping_batch(
+        self, requests: Sequence[ProbeRequest]
+    ) -> List[ProbeReply]:
+        """Batch pings under full policy (cache served first)."""
+        return self._batch(requests, "ping", self._ping_key)
+
+    # ------------------------------------------------------------------
+    # Cache management
+
+    def flush_cache(self) -> None:
+        """Drop every cached reply (e.g. after topology changes)."""
+        if self._cache:
+            self.obs.metrics.inc("measure.cache.flushes")
+        self._cache.clear()
+
+    @property
+    def cached_replies(self) -> int:
+        """Number of replies currently cached."""
+        return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Internals
+
+    def _ping_key(self, request: ProbeRequest) -> Optional[tuple]:
+        """Cache key for a ping (None when ping caching is off).
+
+        Keyed on ``(source, dst, flow)`` but not the TTL: a full-TTL
+        echo exchange looks the same whatever headroom the probe had.
+        The source is part of the key on purpose — flow identifiers
+        are only 16 bits, and two vantage points may collide on one.
+        """
+        if self.policy.cache_mode not in ("ping", "all"):
+            return None
+        return ("ping", request.source, request.dst, request.flow_id)
+
+    def _serve_cached(
+        self,
+        request: ProbeRequest,
+        reply: ProbeReply,
+        trace_budget: Optional[TraceBudget],
+    ) -> ProbeReply:
+        """Account one cache hit and return the stored reply."""
+        self.obs.metrics.inc("measure.cache.hits")
+        events = self.obs.events
+        if events.debug:
+            events.emit(
+                "measure.cache.hit", DEBUG, vp=request.source,
+                dst=request.dst, flow=request.flow_id,
+            )
+        if trace_budget is not None:
+            self._charge_trace(trace_budget, reply)
+        return reply
+
+    def _charge_budget(self, count: int = 1) -> None:
+        """Raise :class:`BudgetExceeded` if ``count`` more probes
+        would overrun the global or any active scope budget."""
+        if self._unmetered:
+            return
+        policy = self.policy
+        if (
+            policy.probe_budget is not None
+            and self.probes_sent + count > policy.probe_budget
+        ):
+            self._deny("campaign", policy.probe_budget, self.probes_sent)
+        budgets = policy.scope_budgets
+        if budgets:
+            # dict.fromkeys dedupes re-entered scope names (a technique
+            # scope nested inside the same-named phase scope) while
+            # keeping entry order for deterministic denial reporting.
+            for scope in dict.fromkeys(self._scopes):
+                limit = budgets.get(scope)
+                spent = self._scope_spent.get(scope, 0)
+                if limit is not None and spent + count > limit:
+                    self._deny(scope, limit, spent)
+
+    def _deny(self, scope: str, budget: int, spent: int) -> None:
+        """Record and raise one budget denial."""
+        self.obs.metrics.inc("measure.budget.denied")
+        events = self.obs.events
+        if events.info:
+            events.emit(
+                "measure.budget.denied", scope=scope, budget=budget,
+                spent=spent,
+            )
+        raise BudgetExceeded(scope, budget, spent)
+
+    def _account(self, request: ProbeRequest, probe: str) -> None:
+        """Charge budgets and record counters for one submission."""
+        self._charge_budget()
+        self.probes_sent += 1
+        for scope in dict.fromkeys(self._scopes):
+            self._scope_spent[scope] = (
+                self._scope_spent.get(scope, 0) + 1
+            )
+        metrics = self.obs.metrics
+        metrics.inc("measure.probes")
+        metrics.inc("probe.sent." + probe)
+        events = self.obs.events
+        if events.debug:
+            events.emit(
+                "probe.sent", DEBUG, vp=request.source,
+                dst=request.dst, ttl=request.ttl,
+                flow=request.flow_id, probe=probe,
+            )
+
+    def _observe_reply(
+        self, request: ProbeRequest, reply: ProbeReply
+    ) -> ProbeReply:
+        """Apply the probe deadline and record reply counters."""
+        reply = self._enforce_probe_deadline(reply)
+        kind = reply.reply_kind or "none"
+        self.obs.metrics.inc("probe.reply." + kind)
+        events = self.obs.events
+        if events.debug:
+            events.emit(
+                "probe.reply", DEBUG, vp=request.source,
+                dst=request.dst, ttl=request.ttl, reply=kind,
+                responder=reply.responder,
+            )
+        return reply
+
+    def _enforce_probe_deadline(self, reply: ProbeReply) -> ProbeReply:
+        """Turn an over-deadline reply into a timeout."""
+        limit = self.policy.probe_deadline_ms
+        if (
+            limit is not None
+            and reply.reply_kind is not None
+            and reply.rtt_ms > limit
+        ):
+            self.obs.metrics.inc("measure.deadline.probe")
+            return ProbeReply(probe_ttl=reply.probe_ttl)
+        return reply
+
+    def _attempt(self, request: ProbeRequest, probe: str) -> ProbeReply:
+        """One accounted submission through the backend."""
+        self._account(request, probe)
+        return self._observe_reply(request, self.backend.submit(request))
+
+    def _submit_with_retries(
+        self, request: ProbeRequest, probe: str
+    ) -> ProbeReply:
+        """Submit, retrying timeouts up to ``max_retries`` times."""
+        reply = self._attempt(request, probe)
+        return self._retry_timeouts(request, reply, probe)
+
+    def _retry_timeouts(
+        self, request: ProbeRequest, reply: ProbeReply, probe: str
+    ) -> ProbeReply:
+        """The shared retry tail: re-probe while the reply is a ``*``."""
+        attempt = 0
+        while (
+            reply.reply_kind is None
+            and attempt < self.policy.max_retries
+        ):
+            self.obs.metrics.inc("measure.retries")
+            self._backoff(attempt)
+            attempt += 1
+            reply = self._attempt(request, probe)
+        return reply
+
+    def _backoff(self, attempt: int) -> None:
+        """Exponential wall-clock backoff (no-op at 0 ms base)."""
+        delay_ms = self.policy.retry_backoff_ms * (2 ** attempt)
+        if delay_ms > 0:
+            time.sleep(delay_ms / 1000.0)
+
+    def _charge_trace(
+        self, budget: TraceBudget, reply: ProbeReply
+    ) -> None:
+        """Charge a reply's measurement time to a trace deadline.
+
+        Timeouts charge the probe deadline (the time a real prober
+        would have waited) when one is configured, nothing otherwise.
+        """
+        already = budget.expired
+        if reply.reply_kind is not None:
+            budget.charge(reply.rtt_ms)
+        elif self.policy.probe_deadline_ms is not None:
+            budget.charge(self.policy.probe_deadline_ms)
+        if budget.expired and not already:
+            self.obs.metrics.inc("measure.deadline.trace")
+
+    def _batch(
+        self,
+        requests: Sequence[ProbeRequest],
+        probe: str,
+        keyer: Callable[[ProbeRequest], Optional[tuple]],
+    ) -> List[ProbeReply]:
+        """Shared batch path: cache, budget, batch-submit, retry."""
+        requests = list(requests)
+        replies: List[Optional[ProbeReply]] = [None] * len(requests)
+        pending: List[Tuple[int, Optional[tuple]]] = []
+        for index, request in enumerate(requests):
+            key = keyer(request)
+            if key is not None:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    replies[index] = self._serve_cached(
+                        request, cached, None
+                    )
+                    continue
+            pending.append((index, key))
+        # All-or-nothing admission: refuse the whole remainder rather
+        # than submit a prefix the budget cannot cover.
+        self._charge_budget(len(pending))
+        for index, _ in pending:
+            self._account(requests[index], probe)
+        raw = self.backend.submit_batch(
+            [requests[index] for index, _ in pending]
+        )
+        for (index, key), reply in zip(pending, raw):
+            request = requests[index]
+            reply = self._retry_timeouts(
+                request, self._observe_reply(request, reply), probe
+            )
+            if key is not None:
+                self._cache[key] = reply
+            replies[index] = reply
+        return replies

@@ -1,0 +1,79 @@
+"""Simulator adapter: the one module that bridges measurement plane
+and dataplane.
+
+:class:`SimBackend` satisfies the :class:`~repro.measure.backend.\
+ProbeBackend` protocol by driving a
+:class:`~repro.dataplane.engine.ForwardingEngine`.  It is the *only*
+adapter allowed to import the engine (enforced by the
+``flake8-tidy-imports`` ban in ``pyproject.toml``) — everything above
+the measurement plane talks to backends, never to the simulator.
+
+Beyond probing, the adapter re-exports the engine's trajectory-cache
+hooks so the campaign's parallel prewarm keeps working without the
+orchestrator ever touching the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.dataplane.engine import ForwardingEngine
+from repro.measure.backend import ProbeBackend, ProbeRequest
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(ProbeBackend):
+    """Probe backend over the packet-level forwarding simulator."""
+
+    name = "sim"
+
+    def __init__(self, engine: ForwardingEngine) -> None:
+        self.engine = engine
+        #: The engine's observability bundle, shared upward so probe
+        #: counters land next to the engine's cache counters.
+        self.obs = getattr(engine, "obs", None)
+
+    def submit(self, request: ProbeRequest):
+        """Simulate one probe; returns the engine's ``ProbeOutcome``
+        (field-compatible with :class:`~repro.measure.backend.\
+ProbeReply`, returned as-is to avoid a per-probe copy)."""
+        source = self.engine.network.router(request.source)
+        return self.engine.send_probe(
+            source,
+            request.dst,
+            ttl=request.ttl,
+            flow_id=request.flow_id,
+            kind=request.kind,
+        )
+
+    # ------------------------------------------------------------------
+    # Trajectory-cache hooks (parallel campaign prewarm)
+
+    @property
+    def trajectory_cache(self) -> bool:
+        """True when the engine memoises forwarding trajectories."""
+        return bool(getattr(self.engine, "trajectory_cache", False))
+
+    def trajectory_snapshot(self) -> FrozenSet[tuple]:
+        """Keys of the trajectories currently cached."""
+        return frozenset(self.engine._trajectories)
+
+    def export_trajectories(
+        self, known: FrozenSet[tuple] = frozenset()
+    ) -> Dict[tuple, dict]:
+        """Wire-format trajectories built since ``known``."""
+        return self.engine.export_trajectories(known)
+
+    def install_trajectories(self, wires: Dict[tuple, dict]) -> int:
+        """Install worker-built trajectories into the engine."""
+        return self.engine.install_trajectories(wires)
+
+    def add_invalidation_listener(
+        self, listener: Callable[[], None]
+    ) -> None:
+        """Invoke ``listener`` whenever the control plane changes
+        (cached measurement replies are stale after that)."""
+        control = getattr(self.engine, "control", None)
+        if control is not None:
+            control.add_invalidation_listener(listener)

@@ -1,10 +1,18 @@
-"""Scamper-like prober: traceroute and ping over the simulator.
+"""Scamper-like prober: traceroute and ping composition.
 
 The prober mirrors the measurement setup of Sec. 4: Paris traceroute
 with ICMP ``echo-request`` probes (constant flow identifier per trace,
 so ECMP load balancing cannot split one trace across paths), plus
 ``echo-request`` pings toward every discovered address for router
 fingerprinting.
+
+The prober is a pure *composer*: it decides which probes to send
+(TTL sweeps, gap limits, flow pinning) and assembles the replies into
+:class:`Trace`/:class:`PingResult` objects, while every probe goes
+through a :class:`~repro.measure.service.ProbeService` that owns the
+cross-cutting policy — budgets, retries, deadlines, caching — and the
+backend that actually emits packets.  ``Prober(engine)`` still works:
+the engine is wrapped in a ``SimBackend`` automatically.
 """
 
 from __future__ import annotations
@@ -12,10 +20,15 @@ from __future__ import annotations
 import logging
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.dataplane.engine import ForwardingEngine, ProbeOutcome
-from repro.dataplane.packet import ECHO_REPLY
+from repro.measure import (
+    DEST_UNREACHABLE,
+    ECHO_REPLY,
+    ProbeRequest,
+    as_probe_service,
+)
+from repro.measure.service import MeasurementPolicy, ProbeService
 from repro.net.addressing import format_address
 from repro.net.router import Router
 from repro.obs import DEBUG, Obs
@@ -159,19 +172,40 @@ class Prober:
 
     def __init__(
         self,
-        engine: ForwardingEngine,
+        backend,
         max_ttl: int = 40,
         gap_limit: int = 3,
+        policy: Optional[MeasurementPolicy] = None,
+        obs: Optional[Obs] = None,
     ) -> None:
-        self.engine = engine
+        #: The measurement service every probe goes through; accepts a
+        #: ready service, any probe backend, or a bare engine.
+        self.service: ProbeService = as_probe_service(
+            backend, policy=policy, obs=obs
+        )
         self.max_ttl = max_ttl
         #: Stop after this many consecutive unresponsive hops
         #: (scamper's gap limit).
         self.gap_limit = gap_limit
-        self.probes_sent = 0
-        #: Shares the engine's observability bundle, so probe counters
-        #: land in the same registry as the engine's cache counters.
-        self.obs = getattr(engine, "obs", None) or Obs()
+        #: Shares the service's observability bundle, so probe counters
+        #: land in the same registry as the backend's own counters.
+        self.obs = self.service.obs
+
+    @property
+    def backend(self):
+        """The probe backend underneath the service."""
+        return self.service.backend
+
+    @property
+    def engine(self):
+        """The forwarding engine, when the backend wraps one
+        (None for replay and other engine-less backends)."""
+        return getattr(self.service.backend, "engine", None)
+
+    @property
+    def probes_sent(self) -> int:
+        """Probes actually emitted (the service's account)."""
+        return self.service.probes_sent
 
     # ------------------------------------------------------------------
 
@@ -212,29 +246,33 @@ class Prober:
         events = self.obs.events
         gap = 0
         limit = max_ttl if max_ttl is not None else self.max_ttl
+        deadline = self.service.begin_trace()
         with self.obs.tracer.span(
             "probe.traceroute", vp=source.name, dst=dst, flow=flow_id
         ):
             for ttl in range(start_ttl, limit + 1):
-                outcome = self.engine.send_probe(
-                    source, dst, ttl=ttl, flow_id=flow_id
+                outcome = self.service.traceroute_probe(
+                    source.name, dst, ttl=ttl, flow_id=flow_id,
+                    trace_budget=deadline,
                 )
-                self.probes_sent += 1
-                metrics.inc("probe.sent.traceroute")
-                reply = outcome.reply_kind or "none"
-                metrics.inc("probe.reply." + reply)
-                if events.debug:
-                    events.emit(
-                        "probe.sent", DEBUG, vp=source.name, dst=dst,
-                        ttl=ttl, flow=flow_id, probe="traceroute",
-                    )
-                    events.emit(
-                        "probe.reply", DEBUG, vp=source.name, dst=dst,
-                        ttl=ttl, reply=reply, responder=outcome.responder,
-                    )
                 hop = self._hop_from(outcome)
                 trace.hops.append(hop)
-                if not hop.responded:
+                if hop.responded:
+                    gap = 0
+                    if (
+                        hop.reply_kind == ECHO_REPLY
+                        and hop.address == dst
+                    ):
+                        trace.destination_reached = True
+                        # The destination's echo-reply doubles as a
+                        # ping observation — seed the service's ping
+                        # cache so the fingerprinting phase can skip
+                        # the wire for this (vp, dst, flow).
+                        self.service.seed_ping(
+                            source.name, dst, flow_id, outcome
+                        )
+                        break
+                else:
                     gap += 1
                     if gap >= self.gap_limit:
                         metrics.inc("probe.gap_aborts")
@@ -244,10 +282,7 @@ class Prober:
                                 dst=dst, ttl=ttl,
                             )
                         break
-                    continue
-                gap = 0
-                if hop.reply_kind == ECHO_REPLY and hop.address == dst:
-                    trace.destination_reached = True
+                if deadline is not None and deadline.expired:
                     break
         metrics.observe("trace.hops", len(trace.hops), _HOP_BUCKETS)
         return trace
@@ -264,14 +299,8 @@ class Prober:
         """
         if flow_id is None:
             flow_id = self._flow_for(source, dst)
-        outcome = self.engine.send_probe(
-            source, dst, ttl=64, flow_id=flow_id, kind="udp-probe"
-        )
-        self.probes_sent += 1
-        metrics = self.obs.metrics
-        metrics.inc("probe.sent.udp")
-        metrics.inc("probe.reply." + (outcome.reply_kind or "none"))
-        if outcome.reply_kind != "dest-unreachable":
+        outcome = self.service.udp_probe(source.name, dst, flow_id)
+        if outcome.reply_kind != DEST_UNREACHABLE:
             return UdpProbeResult(dst=dst, responded=False)
         return UdpProbeResult(
             dst=dst,
@@ -286,40 +315,58 @@ class Prober:
         """Echo-request at full TTL (for fingerprinting)."""
         if flow_id is None:
             flow_id = self._flow_for(source, dst)
-        outcome = self.engine.send_probe(
-            source, dst, ttl=64, flow_id=flow_id
-        )
-        self.probes_sent += 1
-        metrics = self.obs.metrics
-        metrics.inc("probe.sent.ping")
-        reply = outcome.reply_kind or "none"
-        metrics.inc("probe.reply." + reply)
-        events = self.obs.events
-        if events.debug:
-            events.emit(
-                "probe.sent", DEBUG, vp=source.name, dst=dst, ttl=64,
-                flow=flow_id, probe="ping",
-            )
-            events.emit(
-                "probe.reply", DEBUG, vp=source.name, dst=dst, ttl=64,
-                reply=reply, responder=outcome.responder,
-            )
+        outcome = self.service.ping_probe(source.name, dst, flow_id)
+        return self._ping_from(source.name, dst, outcome)
+
+    def ping_sweep(
+        self,
+        source: Router,
+        addresses: Sequence[int],
+        flow_ids: Optional[Sequence[int]] = None,
+    ) -> List[PingResult]:
+        """Ping many addresses from one VP through the batch path.
+
+        Semantically identical to calling :meth:`ping` per address
+        (same flows, same cache and budget policy), but submitted via
+        the backend's batch interface so backends that amortise
+        per-probe overhead can.
+        """
+        if flow_ids is None:
+            flow_ids = [
+                self._flow_for(source, address) for address in addresses
+            ]
+        requests = [
+            ProbeRequest(source.name, address, 64, flow_id)
+            for address, flow_id in zip(addresses, flow_ids)
+        ]
+        replies = self.service.ping_batch(requests)
+        return [
+            self._ping_from(source.name, address, reply)
+            for address, reply in zip(addresses, replies)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _ping_from(
+        self, source_name: str, dst: int, outcome
+    ) -> PingResult:
+        """Assemble one :class:`PingResult` from a service reply."""
         if outcome.reply_kind != ECHO_REPLY:
-            return PingResult(dst=dst, responded=False, source=source.name)
-        metrics.observe("ping.rtt_ms", outcome.rtt_ms, _RTT_BUCKETS)
+            return PingResult(dst=dst, responded=False, source=source_name)
+        self.obs.metrics.observe(
+            "ping.rtt_ms", outcome.rtt_ms, _RTT_BUCKETS
+        )
         return PingResult(
             dst=dst,
             responded=True,
             reply_kind=outcome.reply_kind,
             reply_ttl=outcome.reply_ttl,
             rtt_ms=outcome.rtt_ms,
-            source=source.name,
+            source=source_name,
         )
 
-    # ------------------------------------------------------------------
-
     @staticmethod
-    def _hop_from(outcome: ProbeOutcome) -> TraceHop:
+    def _hop_from(outcome) -> TraceHop:
         if not outcome.responded:
             return TraceHop(probe_ttl=outcome.probe_ttl, address=None)
         return TraceHop(

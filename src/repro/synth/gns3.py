@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.dataplane.engine import ForwardingEngine
+from repro.measure import SimBackend
 from repro.mpls.config import MplsConfig, PoppingMode
 from repro.net.addressing import format_address
 from repro.net.router import Router
@@ -89,7 +90,7 @@ class Gns3Testbed:
         self.engine = ForwardingEngine(
             network, self.control, trajectory_cache=trajectory_cache
         )
-        self.prober = Prober(self.engine)
+        self.prober = Prober(SimBackend(self.engine))
         self._names: Dict[int, str] = {}
         for router in network.routers.values():
             self._names[router.loopback] = f"{router.name}.lo"

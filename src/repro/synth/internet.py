@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.dataplane.engine import ForwardingEngine
+from repro.measure import SimBackend
 from repro.mpls.config import MplsConfig, PoppingMode
 from repro.net.router import Router
 from repro.net.topology import Network
@@ -78,7 +79,7 @@ class SyntheticInternet:
             self.control,
             trajectory_cache=config.trajectory_cache,
         )
-        self.prober = Prober(self.engine)
+        self.prober = Prober(SimBackend(self.engine))
         self.profiles: Dict[int, TransitProfile] = {
             profile.asn: profile for profile in config.profiles
         }

@@ -106,3 +106,38 @@ class TestRenderAndMain:
         path = tmp_path / "empty.jsonl"
         path.write_text("")
         assert trace_inspect.main(["trace_inspect", str(path)]) == 1
+
+    def test_empty_file_still_prints_zero_record_summary(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        trace_inspect.main(["trace_inspect", str(path)])
+        captured = capsys.readouterr()
+        assert "Campaign trace summary" in captured.out
+        assert "no probe.sent events" in captured.out
+        assert "no records found" in captured.err
+
+    def test_missing_file_is_a_clean_error(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        path = tmp_path / "does-not-exist.jsonl"
+        assert trace_inspect.main(["trace_inspect", str(path)]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_truncated_and_non_object_lines_are_skipped(
+        self, trace_inspect, tmp_path, capsys
+    ):
+        path = tmp_path / "trunc.jsonl"
+        path.write_text(
+            json.dumps({"kind": "probe.sent"}) + "\n"
+            + "42\n"                      # JSON, but not an object
+            + '"stray string"\n'
+            + '[1, 2, 3]\n'
+            + '{"kind": "phase.sta'       # truncated mid-write
+        )
+        assert trace_inspect.main(["trace_inspect", str(path)]) == 0
+        summary = trace_inspect.summarize(
+            trace_inspect.load_records(str(path))
+        )
+        assert summary["probes_per_phase"] == {"(outside)": 1}

@@ -20,7 +20,12 @@ from typing import Dict, Iterable, List
 
 
 def load_records(path: str) -> List[dict]:
-    """Parse one record per non-empty line, skipping corrupt lines."""
+    """Parse one record per non-empty line, skipping corrupt lines.
+
+    Truncated writes (a crash mid-line) and stray non-object lines are
+    both tolerated: anything that is not a JSON object is dropped, so
+    a damaged artefact still yields whatever records survived.
+    """
     records = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
@@ -28,9 +33,11 @@ def load_records(path: str) -> List[dict]:
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError:
                 continue
+            if isinstance(record, dict):
+                records.append(record)
     return records
 
 
@@ -175,14 +182,20 @@ def main(argv: List[str]) -> int:
     if len(argv) != 2 or argv[1] in ("-h", "--help"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    records = load_records(argv[1])
-    if not records:
-        print(f"no records found in {argv[1]}", file=sys.stderr)
-        return 1
+    try:
+        records = load_records(argv[1])
+    except OSError as exc:
+        print(f"cannot read {argv[1]}: {exc}", file=sys.stderr)
+        return 2
     try:
         print(render(summarize(records)))
     except BrokenPipeError:  # e.g. piped into head
         return 0
+    if not records:
+        # Zero-record summary printed above; the status still flags
+        # the empty artefact so CI pipelines notice.
+        print(f"no records found in {argv[1]}", file=sys.stderr)
+        return 1
     return 0
 
 
