@@ -26,12 +26,20 @@ symbolic walks happen concurrently.  Flow identifiers are a pure
 function of (vp, destination) (see ``Prober._flow_for``), which is
 what makes worker-built trajectories line up with the parent's cache
 keys.
+
+:meth:`Campaign.run` optionally takes a *checkpoint* (see
+:mod:`repro.store`): every completed traceroute, fingerprint ping,
+and pair revelation is persisted as it finishes, and a resumed run
+replays the restored prefix of each phase before probing the
+remainder live — producing a result bit-identical to an
+uninterrupted run, measurement counters included.
 """
 
 from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -47,7 +55,7 @@ from repro.core.rtla import RtlaAnalyzer
 from repro.core.signatures import SignatureInventory
 from repro.measure.service import BudgetExceeded
 from repro.net.router import Router
-from repro.obs import Obs
+from repro.obs import EventLog, MetricsRegistry, Obs, Tracer
 from repro.probing.prober import PingResult, Prober, Trace
 
 __all__ = [
@@ -207,6 +215,10 @@ class CampaignResult:
     partial: bool = False
     #: Human-readable reason the run stopped early, when it did.
     stop_reason: Optional[str] = None
+    #: Snapshot directory when the run was checkpointed (excluded
+    #: from equality: a resumed result must equal its uninterrupted
+    #: twin, which never had a checkpoint).
+    checkpoint_dir: Optional[str] = field(default=None, compare=False)
     #: Timings and cache counters; excluded from equality so parallel
     #: and serial runs of the same campaign still compare equal.
     perf: PerfStats = field(default_factory=PerfStats, compare=False)
@@ -243,6 +255,31 @@ class CampaignResult:
             raise ValueError("rate and team count must be positive")
         total = self.probes_sent + self.revelation_probes
         return total / (rate_pps * teams)
+
+    def stop_summary(self) -> Optional[str]:
+        """One-line account of an early stop, with a resume hint.
+
+        None for complete runs.  When the run was checkpointed the
+        summary says where the snapshot lives and how to resume it;
+        otherwise it points at ``--checkpoint`` so the *next*
+        interruption is recoverable.
+        """
+        if not self.partial:
+            return None
+        reason = self.stop_reason or "stopped early"
+        if self.checkpoint_dir:
+            root = os.path.dirname(
+                self.checkpoint_dir.rstrip("/")
+            ) or self.checkpoint_dir
+            return (
+                f"{reason}; progress is checkpointed in "
+                f"{self.checkpoint_dir} — resume with: "
+                f"repro campaign --resume {root}"
+            )
+        return (
+            f"{reason}; progress was not checkpointed — add "
+            "--checkpoint DIR to make interrupted runs resumable"
+        )
 
 
 class Campaign:
@@ -285,8 +322,20 @@ class Campaign:
     # ------------------------------------------------------------------
     # Phases
 
-    def run(self, destinations: Sequence[int]) -> CampaignResult:
-        """Full pipeline: trace, ping, extract pairs, reveal."""
+    def run(
+        self, destinations: Sequence[int], checkpoint=None
+    ) -> CampaignResult:
+        """Full pipeline: trace, ping, extract pairs, reveal.
+
+        ``checkpoint`` (a
+        :class:`repro.store.checkpoint.CampaignCheckpoint`, duck
+        typed to keep the layering one-way) persists each completed
+        work item and, when resuming, replays the restored prefix of
+        every phase so only the remainder is probed live.  The
+        resumed result — revelations, analyzers, probe counts, and
+        measurement counters alike — is bit-identical to an
+        uninterrupted run.
+        """
         logger.info(
             "campaign start: %d destinations, %d VPs, workers=%d",
             len(destinations), len(self.vps), self.config.workers,
@@ -301,37 +350,47 @@ class Campaign:
             # serve replies measured by a previous one.
             self.service.flush_cache()
         cache_hits_before = metrics.get("measure.cache.hits")
+        if checkpoint is not None:
+            # After the flush (a resume *re-imports* the interrupted
+            # run's cache) and after the cache-hit baseline (restored
+            # hit counters must land in the ``pings_saved`` window).
+            checkpoint.begin(self, destinations, result)
         counters = self._engine_counters()
         with self.obs.tracer.span(
             "campaign.run", destinations=len(destinations),
             workers=self.config.workers,
         ):
             try:
+                skip = self._restored(checkpoint, "trace")
                 with self._phase(result, "trace"):
                     self._prewarm([
                         ("trace", vp.name, dst)
                         for vp, dst in self._team_assignment(
                             destinations
                         )
-                    ])
-                    self.trace_phase(destinations, result)
+                    ][skip:])
+                    self.trace_phase(destinations, result, checkpoint)
                 if self.config.ping_discovered:
+                    skip = self._restored(checkpoint, "ping")
                     with self._phase(result, "ping"):
                         self._prewarm([
                             ("ping", vp_name, address)
                             for vp_name, address in sorted(
                                 self._ping_pairs(result)
                             )
-                        ])
-                        self.ping_phase(result)
+                        ][skip:])
+                        self.ping_phase(result, checkpoint)
                 with self._phase(result, "extract"):
                     self.extract_pairs(result)
+                    if checkpoint is not None:
+                        checkpoint.record_pairs(result)
+                skip = self._restored(checkpoint, "revelation")
                 with self._phase(result, "revelation"):
                     self._prewarm([
                         ("reveal", pair.vp, pair.ingress, pair.egress)
                         for pair in result.pairs
-                    ])
-                    self.revelation_phase(result)
+                    ][skip:])
+                    self.revelation_phase(result, checkpoint)
             except BudgetExceeded as exc:
                 # A clean early stop: keep everything measured so far
                 # and report why the remainder is missing.
@@ -359,6 +418,8 @@ class Campaign:
         )
         metrics.inc("campaign.probes", result.probes_sent)
         metrics.inc("campaign.revelation_probes", result.revelation_probes)
+        if checkpoint is not None:
+            checkpoint.finish(result)
         logger.info(
             "campaign done: %d traces, %d pairs, %d revealed, %.3fs",
             len(result.traces), len(result.pairs),
@@ -367,25 +428,79 @@ class Campaign:
         )
         return result
 
+    @staticmethod
+    def _restored(checkpoint, phase: str) -> int:
+        """Restored-record count for ``phase`` (0 without one)."""
+        if checkpoint is None:
+            return 0
+        return checkpoint.restored_count(phase)
+
+    @contextmanager
+    def _quiet_replay(self, result: CampaignResult):
+        """Replay restored observations without re-counting them.
+
+        The RTLA analyzer increments measurement counters inside
+        ``add_trace``/``add_ping``; a resumed run restores those
+        totals from the checkpoint, so the replayed prefix must feed
+        the analyzers through a throwaway registry or every restored
+        observation would be counted twice.
+        """
+        scratch_events = EventLog()
+        result.rtla.bind_obs(
+            Obs(MetricsRegistry(), scratch_events, Tracer(scratch_events))
+        )
+        try:
+            yield
+        finally:
+            result.rtla.bind_obs(self.obs)
+
     def trace_phase(
-        self, destinations: Sequence[int], result: CampaignResult
+        self,
+        destinations: Sequence[int],
+        result: CampaignResult,
+        checkpoint=None,
     ) -> None:
-        """Traceroute each destination from its team's VPs."""
+        """Traceroute each destination from its team's VPs.
+
+        With a checkpoint, traces restored from the snapshot are
+        replayed through the analyzers first (no probing), and each
+        live trace is recorded as soon as it completes — probe
+        accounting is brought up to date *before* the record is
+        written so the checkpointed state matches the result state.
+        """
         teams = self._team_assignment(destinations)
+        restored = self._restored(checkpoint, "trace")
+        if restored:
+            with self._quiet_replay(result):
+                for index in range(min(restored, len(teams))):
+                    trace = checkpoint.restored_trace(index)
+                    result.traces.append(trace)
+                    result.inventory.observe_trace(trace)
+                    result.rtla.add_trace(trace)
         before = self.prober.probes_sent
         try:
-            for vp, dst in teams:
+            for index, (vp, dst) in enumerate(teams):
+                if index < restored:
+                    continue
                 trace = self.prober.traceroute(
                     vp, dst, start_ttl=self.config.start_ttl
                 )
+                result.probes_sent += self.prober.probes_sent - before
+                before = self.prober.probes_sent
                 result.traces.append(trace)
                 result.inventory.observe_trace(trace)
                 result.rtla.add_trace(trace)
+                if checkpoint is not None:
+                    checkpoint.record_trace(index, trace)
         finally:
-            # Account even when a probe budget stops the phase early.
+            # Account even when a probe budget stops the phase early
+            # (probes spent on the aborted item are real spend, but
+            # are never checkpointed — a resume re-runs that item).
             result.probes_sent += self.prober.probes_sent - before
 
-    def ping_phase(self, result: CampaignResult) -> None:
+    def ping_phase(
+        self, result: CampaignResult, checkpoint=None
+    ) -> None:
         """Ping every address seen in the traces (fingerprinting).
 
         Each address is pinged from *every* vantage point that saw it:
@@ -403,21 +518,42 @@ class Campaign:
         seeded during the trace phase; the saved probes surface as the
         ``campaign.pings_saved`` counter.
         """
+        pairs = sorted(self._ping_pairs(result))
+        restored = self._restored(checkpoint, "ping")
+        if restored:
+            with self._quiet_replay(result):
+                for index in range(min(restored, len(pairs))):
+                    _, address, ping = checkpoint.restored_ping(index)
+                    self._take_ping(result, address, ping)
         before = self.prober.probes_sent
         try:
-            for vp_name, address in sorted(self._ping_pairs(result)):
+            for index, (vp_name, address) in enumerate(pairs):
+                if index < restored:
+                    continue
                 ping = self.prober.ping(
                     self._vp_by_name[vp_name], address
                 )
-                existing = result.pings.get(address)
-                if existing is None or (
-                    ping.responded and not existing.responded
-                ):
-                    result.pings[address] = ping
-                result.inventory.observe_ping(ping)
-                result.rtla.add_ping(ping)
+                result.probes_sent += self.prober.probes_sent - before
+                before = self.prober.probes_sent
+                self._take_ping(result, address, ping)
+                if checkpoint is not None:
+                    checkpoint.record_ping(index, vp_name, address, ping)
         finally:
             result.probes_sent += self.prober.probes_sent - before
+
+    @staticmethod
+    def _take_ping(
+        result: CampaignResult, address: int, ping: PingResult
+    ) -> None:
+        """Fold one fingerprint ping into the result (first
+        responsive observation wins) and the analyzers."""
+        existing = result.pings.get(address)
+        if existing is None or (
+            ping.responded and not existing.responded
+        ):
+            result.pings[address] = ping
+        result.inventory.observe_ping(ping)
+        result.rtla.add_ping(ping)
 
     def _ping_pairs(self, result: CampaignResult) -> Set[Tuple[str, int]]:
         """The (vp name, address) pairs the ping phase will probe."""
@@ -464,39 +600,77 @@ class Campaign:
                 )
             )
 
-    def revelation_phase(self, result: CampaignResult) -> None:
+    def revelation_phase(
+        self, result: CampaignResult, checkpoint=None
+    ) -> None:
         """Run the DPR/BRPR recursion on every candidate pair."""
+        self._reveal_pairs(result, checkpoint)
+
+    def _reveal_pairs(
+        self, result: CampaignResult, checkpoint=None
+    ) -> None:
+        """The revelation loop proper (split out for accounting).
+
+        Probe accounting is per pair (``revelation_probes`` grows as
+        each pair finishes, with a ``finally`` catch-all for the pair
+        a budget aborts) so a checkpoint record always reflects the
+        completed pairs exactly.
+        """
+        restored = self._restored(checkpoint, "revelation")
+        if restored:
+            with self._quiet_replay(result):
+                for index in range(
+                    min(restored, len(result.pairs))
+                ):
+                    ingress, egress, revelation, pings = (
+                        checkpoint.restored_revelation(index)
+                    )
+                    result.revelations[(ingress, egress)] = revelation
+                    for address, ping in pings:
+                        result.pings[address] = ping
+                        result.inventory.observe_ping(ping)
+                        result.rtla.add_ping(ping)
         before = self.prober.probes_sent
         try:
-            self._reveal_pairs(result)
+            for index, pair in enumerate(result.pairs):
+                if index < restored:
+                    continue
+                vp = self._vp_by_name[pair.vp]
+                revelation = reveal_tunnel(
+                    self.prober,
+                    vp,
+                    ingress=pair.ingress,
+                    egress=pair.egress,
+                    max_steps=self.config.max_revelation_steps,
+                    start_ttl=self.config.start_ttl,
+                )
+                result.revelations[(pair.ingress, pair.egress)] = (
+                    revelation
+                )
+                follow_ups = []
+                for trace_address in revelation.revealed:
+                    # Fingerprint newly surfaced routers too.
+                    if (
+                        self.config.ping_discovered
+                        and trace_address not in result.pings
+                    ):
+                        ping = self.prober.ping(vp, trace_address)
+                        result.pings[trace_address] = ping
+                        result.inventory.observe_ping(ping)
+                        result.rtla.add_ping(ping)
+                        follow_ups.append((trace_address, ping))
+                result.revelation_probes += (
+                    self.prober.probes_sent - before
+                )
+                before = self.prober.probes_sent
+                if checkpoint is not None:
+                    checkpoint.record_revelation(
+                        index, revelation, follow_ups
+                    )
         finally:
-            result.revelation_probes = (
+            result.revelation_probes += (
                 self.prober.probes_sent - before
             )
-
-    def _reveal_pairs(self, result: CampaignResult) -> None:
-        """The revelation loop proper (split out for accounting)."""
-        for pair in result.pairs:
-            vp = self._vp_by_name[pair.vp]
-            revelation = reveal_tunnel(
-                self.prober,
-                vp,
-                ingress=pair.ingress,
-                egress=pair.egress,
-                max_steps=self.config.max_revelation_steps,
-                start_ttl=self.config.start_ttl,
-            )
-            result.revelations[(pair.ingress, pair.egress)] = revelation
-            for trace_address in revelation.revealed:
-                # Fingerprint newly surfaced routers too.
-                if (
-                    self.config.ping_discovered
-                    and trace_address not in result.pings
-                ):
-                    ping = self.prober.ping(vp, trace_address)
-                    result.pings[trace_address] = ping
-                    result.inventory.observe_ping(ping)
-                    result.rtla.add_ping(ping)
 
     # ------------------------------------------------------------------
     # Parallel prewarm

@@ -77,8 +77,9 @@ def render_report(
     lines: List[str] = [f"# {title}", ""]
     if result.partial:
         lines.append(
-            f"> **Partial run** — {result.stop_reason}. The tables "
-            "below cover only what was measured before the stop."
+            f"> **Partial run** — {result.stop_summary()}. The "
+            "tables below cover only what was measured before the "
+            "stop."
         )
         lines.append("")
 

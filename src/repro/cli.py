@@ -8,7 +8,16 @@
   per-AS summary tables (optionally saving the dataset as JSON);
 * ``repro experiment <id>`` — regenerate one of the paper's tables or
   figures (``fig01`` … ``fig11``, ``table1`` … ``table6``);
+* ``repro diff SNAP_A SNAP_B`` — longitudinal comparison of two
+  campaign snapshots (tunnels appeared/disappeared/length-changed,
+  per-AS deltas);
 * ``repro list`` — available experiment identifiers.
+
+``repro campaign --checkpoint DIR`` persists every completed probe
+unit into a warehouse snapshot under ``DIR``; after an interruption
+(budget stop, crash, Ctrl-C), ``repro campaign --resume DIR`` picks
+the run back up and produces a result bit-identical to an
+uninterrupted one.
 """
 
 from __future__ import annotations
@@ -104,6 +113,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=0, metavar="N",
         help="re-probe unresponsive (*) hops up to N times",
     )
+    store_group = campaign.add_mutually_exclusive_group()
+    store_group.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="checkpoint the run into a warehouse snapshot under DIR "
+        "(each completed trace/ping/revelation is persisted; an "
+        "interrupted run becomes resumable)",
+    )
+    store_group.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume the campaign checkpointed under DIR; completed "
+        "work is restored, only the remainder is probed, and the "
+        "result is bit-identical to an uninterrupted run",
+    )
     log_group = campaign.add_mutually_exclusive_group()
     log_group.add_argument(
         "--record", metavar="PATH", default=None,
@@ -139,6 +161,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one table/figure"
     )
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two campaign snapshots (tunnel churn, per-AS "
+        "deltas)",
+    )
+    diff.add_argument(
+        "snapshot_a",
+        help="first snapshot: its directory, or a warehouse root "
+        "holding exactly one snapshot",
+    )
+    diff.add_argument("snapshot_b", help="second snapshot, likewise")
+    diff.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the diff document (repro.store.diff/1) as "
+        "JSON",
+    )
 
     configs = sub.add_parser(
         "configs", help="dump IOS-style configs for a testbed scenario"
@@ -176,18 +215,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         log = get_event_log()
         log.attach(trace_sink)
         log.set_level(DEBUG)
-    context = campaign_context(
-        ContextConfig(
-            scale=args.scale,
-            seed=args.seed,
-            vantage_points=args.vantage_points,
-            workers=args.workers,
-            probe_budget=args.probe_budget,
-            max_retries=args.max_retries,
-            record_path=args.record,
-            replay_path=args.replay,
+    from repro.store import StoreMismatch
+
+    try:
+        context = campaign_context(
+            ContextConfig(
+                scale=args.scale,
+                seed=args.seed,
+                vantage_points=args.vantage_points,
+                workers=args.workers,
+                probe_budget=args.probe_budget,
+                max_retries=args.max_retries,
+                record_path=args.record,
+                replay_path=args.replay,
+                checkpoint_dir=args.resume or args.checkpoint,
+                resume=args.resume is not None,
+            )
         )
-    )
+    except StoreMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = context.result
     registry = context.internet.engine.obs.metrics
     if trace_sink is not None:
@@ -209,7 +256,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"pairs, {len(result.successful_revelations())} tunnels revealed"
     )
     if result.partial:
-        print(f"PARTIAL RUN: {result.stop_reason}")
+        print(f"PARTIAL RUN: {result.stop_summary()}")
+    if result.checkpoint_dir:
+        print(f"snapshot: {result.checkpoint_dir}")
     if args.record:
         print(f"probe log recorded to {args.record}")
     if args.replay:
@@ -265,6 +314,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.store import diff_snapshots, render_diff
+
+    try:
+        document = diff_snapshots(args.snapshot_a, args.snapshot_b)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(document))
+    if args.json:
+        import json
+
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(document, indent=1))
+        print(f"diff written to {args.json}")
+    return 0
+
+
 def _cmd_configs(args: argparse.Namespace) -> int:
     from repro.synth.ios_config import network_configs, router_config
 
@@ -306,6 +374,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "emulate": _cmd_emulate,
         "campaign": _cmd_campaign,
         "experiment": _cmd_experiment,
+        "diff": _cmd_diff,
         "configs": _cmd_configs,
         "export": _cmd_export,
         "list": _cmd_list,

@@ -26,6 +26,8 @@ from repro.measure.backend import (
     ProbeBackend,
     ProbeReply,
     ProbeRequest,
+    reply_from_wire,
+    reply_to_wire,
 )
 from repro.measure.replay import (
     RecordingBackend,
@@ -59,6 +61,8 @@ __all__ = [
     "SimBackend",
     "TraceBudget",
     "as_probe_service",
+    "reply_from_wire",
+    "reply_to_wire",
 ]
 
 

@@ -31,6 +31,8 @@ __all__ = [
     "ProbeRequest",
     "ProbeReply",
     "ProbeBackend",
+    "reply_to_wire",
+    "reply_from_wire",
 ]
 
 #: Probe/reply kind strings.  They mirror
@@ -83,6 +85,44 @@ class ProbeReply:
     def responded(self) -> bool:
         """True unless the probe timed out."""
         return self.reply_kind is not None
+
+
+def reply_to_wire(reply: ProbeReply) -> Optional[dict]:
+    """A reply's JSON-ready wire form (None for a timeout).
+
+    The shared codec behind every on-disk artefact that stores
+    replies — probe logs (:mod:`repro.measure.replay`) and campaign
+    stores (:mod:`repro.store`).  The probe TTL is carried by the
+    surrounding record, not the wire dict, so formats that already
+    know it (a probe-log entry keys on it) don't repeat it.
+    """
+    if reply.reply_kind is None:
+        return None
+    return {
+        "kind": reply.reply_kind,
+        "responder": reply.responder,
+        "router": reply.responder_router,
+        "ttl": reply.reply_ttl,
+        "labels": [list(pair) for pair in reply.quoted_labels],
+        "rtt": reply.rtt_ms,
+    }
+
+
+def reply_from_wire(wire: Optional[dict], probe_ttl: int) -> ProbeReply:
+    """Rebuild a reply from :func:`reply_to_wire` output."""
+    if wire is None:
+        return ProbeReply(probe_ttl=probe_ttl)
+    return ProbeReply(
+        probe_ttl=probe_ttl,
+        reply_kind=wire["kind"],
+        responder=wire["responder"],
+        responder_router=wire.get("router"),
+        reply_ttl=wire.get("ttl"),
+        quoted_labels=[
+            tuple(pair) for pair in (wire.get("labels") or [])
+        ],
+        rtt_ms=float(wire.get("rtt", 0.0)),
+    )
 
 
 class ProbeBackend(ABC):

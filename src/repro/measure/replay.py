@@ -34,6 +34,8 @@ from repro.measure.backend import (
     ProbeBackend,
     ProbeReply,
     ProbeRequest,
+    reply_from_wire,
+    reply_to_wire,
 )
 
 __all__ = ["SCHEMA", "ReplayMiss", "RecordingBackend", "ReplayBackend"]
@@ -132,16 +134,7 @@ class RecordingBackend(ProbeBackend):
     def _entry(
         request: ProbeRequest, reply: ProbeReply
     ) -> Dict[str, object]:
-        wire: Optional[Dict[str, object]] = None
-        if reply.reply_kind is not None:
-            wire = {
-                "kind": reply.reply_kind,
-                "responder": reply.responder,
-                "router": reply.responder_router,
-                "ttl": reply.reply_ttl,
-                "labels": [list(pair) for pair in reply.quoted_labels],
-                "rtt": reply.rtt_ms,
-            }
+        wire = reply_to_wire(reply)
         return {
             "source": request.source,
             "dst": request.dst,
@@ -197,16 +190,4 @@ class ReplayBackend(ProbeBackend):
             wire = self._replies[_key(request)]
         except KeyError:
             raise ReplayMiss(request, self.path) from None
-        if wire is None:
-            return ProbeReply(probe_ttl=request.ttl)
-        return ProbeReply(
-            probe_ttl=request.ttl,
-            reply_kind=wire["kind"],
-            responder=wire["responder"],
-            responder_router=wire.get("router"),
-            reply_ttl=wire.get("ttl"),
-            quoted_labels=[
-                tuple(pair) for pair in (wire.get("labels") or [])
-            ],
-            rtt_ms=float(wire.get("rtt", 0.0)),
-        )
+        return reply_from_wire(wire, request.ttl)

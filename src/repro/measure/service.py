@@ -40,6 +40,8 @@ from repro.measure.backend import (
     ProbeBackend,
     ProbeReply,
     ProbeRequest,
+    reply_from_wire,
+    reply_to_wire,
 )
 from repro.obs import DEBUG, Obs
 
@@ -308,6 +310,78 @@ class ProbeService:
     def cached_replies(self) -> int:
         """Number of replies currently cached."""
         return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Checkpointable state (consumed by :mod:`repro.store`)
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """The service's budget accounting as a JSON-ready dict.
+
+        Captures exactly what a resumed campaign must restore for its
+        budgets to continue where the interrupted run stopped:
+        probes already sent and the per-scope spend.  Policy is *not*
+        included — the resuming campaign installs its own.
+        """
+        return {
+            "probes_sent": self.probes_sent,
+            "scope_spent": dict(self._scope_spent),
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore accounting saved by :meth:`state_snapshot`."""
+        self.probes_sent = int(state.get("probes_sent", 0))
+        self._scope_spent = {
+            str(scope): int(spent)
+            for scope, spent in dict(
+                state.get("scope_spent") or {}
+            ).items()
+        }
+
+    def cache_keys(self) -> frozenset:
+        """The keys currently cached (for delta-style exports)."""
+        return frozenset(self._cache)
+
+    def export_cache(
+        self, known: Optional[frozenset] = None
+    ) -> List[Dict[str, object]]:
+        """Serialize cached replies as JSON-ready entries.
+
+        With ``known`` given, only entries whose key is *not* in it
+        are exported — callers that persist the cache incrementally
+        (checkpoint records) track the keys they already wrote and
+        ship deltas.  Ordering is deterministic (sorted keys).
+        """
+        entries = []
+        for key in sorted(
+            k for k in self._cache if known is None or k not in known
+        ):
+            reply = self._cache[key]
+            entries.append(
+                {
+                    "key": list(key),
+                    "probe_ttl": reply.probe_ttl,
+                    "reply": reply_to_wire(reply),
+                }
+            )
+        return entries
+
+    def import_cache(
+        self, entries: Sequence[Mapping[str, object]]
+    ) -> int:
+        """Install entries exported by :meth:`export_cache`.
+
+        Returns the number of replies installed.  Existing keys are
+        overwritten — in a deterministic stack the replies are
+        identical anyway.
+        """
+        installed = 0
+        for entry in entries:
+            key = tuple(entry["key"])
+            self._cache[key] = reply_from_wire(
+                entry.get("reply"), int(entry["probe_ttl"])
+            )
+            installed += 1
+        return installed
 
     # ------------------------------------------------------------------
     # Internals

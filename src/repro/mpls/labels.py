@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.net.addressing import Prefix
+
 __all__ = [
     "EXPLICIT_NULL",
     "IMPLICIT_NULL",
@@ -115,3 +117,32 @@ class LabelAllocator:
 
     def __len__(self) -> int:
         return len(self._bindings)
+
+    # ------------------------------------------------------------------
+    # Checkpointable state (see repro.store.checkpoint)
+    #
+    # First-use allocation order makes label values depend on probing
+    # history, so a resumed campaign must reinstate the interrupted
+    # run's bindings or its live probes would observe different label
+    # numbers than an uninterrupted run.  Bindings are append-only and
+    # insertion-ordered, which makes position-based deltas exact.
+
+    def export_bindings(self, start: int = 0) -> list:
+        """Bindings from allocation position ``start`` on, as
+        JSON-ready ``[router, fec_network, fec_length, label]`` rows
+        (FECs are :class:`~repro.net.addressing.Prefix` instances)."""
+        rows = []
+        for position, ((router, fec), label) in enumerate(
+            self._bindings.items()
+        ):
+            if position < start:
+                continue
+            rows.append([router, fec.network, fec.length, label])
+        return rows
+
+    def import_bindings(self, rows) -> None:
+        """Reinstate exported bindings, in their original order."""
+        for router, network, length, label in rows:
+            self._bindings[(router, Prefix(network, length))] = label
+            if label >= self._next:
+                self._next = label + 1

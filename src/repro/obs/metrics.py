@@ -48,9 +48,10 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 #: Counter namespaces that depend on the execution strategy (caching,
-#: worker count, wall-clock) rather than on what was measured.
+#: worker count, wall-clock, checkpoint/resume) rather than on what
+#: was measured.
 EXECUTION_PREFIXES: Tuple[str, ...] = (
-    "engine.", "phase.", "prewarm.", "span.",
+    "engine.", "phase.", "prewarm.", "span.", "store.",
 )
 
 

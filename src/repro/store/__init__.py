@@ -1,0 +1,67 @@
+"""``repro.store`` — the persistent campaign warehouse.
+
+Campaigns so far were ephemeral: kill the process and every probe is
+lost.  This package gives a campaign a durable home:
+
+* :mod:`repro.store.layout` — versioned on-disk layout
+  (``repro.store/1``), content-keyed snapshots, crash-tolerant JSONL
+  record I/O;
+* :mod:`repro.store.warehouse` — :class:`CampaignStore` /
+  :class:`Snapshot`, the directory-level containers;
+* :mod:`repro.store.checkpoint` — :class:`CampaignCheckpoint`, the
+  phase/pair-granular checkpoint-resume protocol driven by
+  :meth:`repro.campaign.orchestrator.Campaign.run` (resumed runs are
+  bit-identical to uninterrupted ones, measurement counters
+  included), plus :func:`result_document`;
+* :mod:`repro.store.diff` — longitudinal diffing between snapshots
+  (``repro diff``): tunnels appeared / disappeared / length-changed
+  and per-AS deployment deltas.
+
+Layering: ``repro.store`` sits *above* the campaign layer (it imports
+dataset serializers and is handed live campaign objects), while the
+orchestrator only ever sees the checkpoint through duck typing — no
+import cycle.
+"""
+
+from repro.store.checkpoint import (
+    CampaignCheckpoint,
+    StoreMismatch,
+    result_document,
+)
+from repro.store.diff import (
+    diff_snapshots,
+    render_diff,
+    resolve_snapshot,
+    snapshot_tunnels,
+)
+from repro.store.layout import (
+    DIFF_SCHEMA,
+    IDENTITY_EXCLUDED_FIELDS,
+    PHASES,
+    RESUME_EXEMPT_COUNTERS,
+    STORE_SCHEMA,
+    campaign_key,
+    config_fingerprint,
+    snapshot_dirname,
+)
+from repro.store.warehouse import CampaignStore, Snapshot
+
+__all__ = [
+    "STORE_SCHEMA",
+    "DIFF_SCHEMA",
+    "PHASES",
+    "IDENTITY_EXCLUDED_FIELDS",
+    "RESUME_EXEMPT_COUNTERS",
+    "campaign_key",
+    "config_fingerprint",
+    "snapshot_dirname",
+    "CampaignStore",
+    "Snapshot",
+    "CampaignCheckpoint",
+    "StoreMismatch",
+    "result_document",
+    "diff_snapshots",
+    "render_diff",
+    "resolve_snapshot",
+    "snapshot_tunnels",
+]

@@ -101,3 +101,53 @@ class TestCampaignOptions:
         ) == 0
         out = capsys.readouterr().out
         assert "Table 4" in out
+
+
+class TestCampaignCheckpoint:
+    def test_checkpoint_resume_and_diff(self, capsys, tmp_path):
+        warehouse = tmp_path / "warehouse"
+        args = ["campaign", "--scale", "0.5", "--seed", "11"]
+        assert main(
+            args + ["--probe-budget", "400",
+                    "--checkpoint", str(warehouse)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PARTIAL RUN" in out
+        assert "snapshot:" in out
+        assert f"--resume {warehouse}" in out
+
+        assert main(args + ["--resume", str(warehouse)]) == 0
+        out = capsys.readouterr().out
+        assert "PARTIAL RUN" not in out
+        assert "snapshot:" in out
+
+        diff_json = tmp_path / "diff.json"
+        assert main(
+            ["diff", str(warehouse), str(warehouse),
+             "--json", str(diff_json)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Tunnel churn" in out
+        document = json.loads(diff_json.read_text())
+        assert document["schema"] == "repro.store.diff/1"
+        assert document["summary"]["appeared"] == 0
+        assert document["summary"]["unchanged"] > 0
+
+    def test_resume_without_warehouse_fails(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "--scale", "0.5", "--seed", "11",
+             "--resume", str(tmp_path / "nowhere")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_diff_rejects_empty_directory(self, capsys, tmp_path):
+        assert main(["diff", str(tmp_path), str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_and_resume_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["campaign", "--checkpoint", "a", "--resume", "b"]
+            )
+        capsys.readouterr()

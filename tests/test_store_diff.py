@@ -1,0 +1,195 @@
+"""Longitudinal diffing between campaign snapshots.
+
+Two seeded topologies stand in for the same network captured months
+apart: the tunnels that only exist under one seed are the churn a
+longitudinal campaign is after.  The tests pin the diff document's
+schema, the result.json-vs-raw-records sourcing fallback, and the CLI
+path resolution rules.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.orchestrator import Campaign, CampaignConfig
+from repro.store import (
+    DIFF_SCHEMA,
+    CampaignCheckpoint,
+    diff_snapshots,
+    render_diff,
+    resolve_snapshot,
+    result_document,
+    snapshot_tunnels,
+)
+from repro.synth.internet import InternetConfig, build_internet
+
+
+def _checkpointed_run(root, seed):
+    internet = build_internet(InternetConfig(seed=seed))
+    campaign = Campaign(
+        internet.prober,
+        internet.vps,
+        internet.asn_of_address,
+        CampaignConfig(
+            suspicious_asns=tuple(internet.transit_asns)
+        ),
+    )
+    checkpoint = CampaignCheckpoint(
+        str(root), {"kind": "synthetic-internet", "seed": seed}
+    )
+    result = campaign.run(
+        internet.campaign_targets(), checkpoint=checkpoint
+    )
+    checkpoint.snapshot.write_result(result_document(result))
+    return result, checkpoint.snapshot
+
+
+@pytest.fixture(scope="module")
+def two_snapshots(tmp_path_factory):
+    root_a = tmp_path_factory.mktemp("warehouse-a")
+    root_b = tmp_path_factory.mktemp("warehouse-b")
+    result_a, snapshot_a = _checkpointed_run(root_a, seed=77)
+    result_b, snapshot_b = _checkpointed_run(root_b, seed=78)
+    return (result_a, snapshot_a), (result_b, snapshot_b)
+
+
+class TestDiffDocument:
+    def test_schema_and_heads(self, two_snapshots):
+        (_, snapshot_a), (_, snapshot_b) = two_snapshots
+        document = diff_snapshots(snapshot_a, snapshot_b)
+        assert document["schema"] == DIFF_SCHEMA
+        assert document["a"]["path"] == str(snapshot_a.path)
+        assert document["b"]["path"] == str(snapshot_b.path)
+        assert document["a"]["from_result_summary"]
+        assert document["a"]["key"] != document["b"]["key"]
+        json.dumps(document)  # must be serialisable as-is
+
+    def test_churn_is_nonempty_across_seeds(self, two_snapshots):
+        (_, snapshot_a), (_, snapshot_b) = two_snapshots
+        document = diff_snapshots(snapshot_a, snapshot_b)
+        summary = document["summary"]
+        assert summary["appeared"] > 0
+        assert summary["disappeared"] > 0
+        tunnels = document["tunnels"]
+        assert len(tunnels["appeared"]) == summary["appeared"]
+        assert len(tunnels["disappeared"]) == summary["disappeared"]
+        assert (
+            len(tunnels["length_changed"])
+            == summary["length_changed"]
+        )
+
+    def test_summary_counts_are_consistent(self, two_snapshots):
+        (result_a, snapshot_a), (result_b, snapshot_b) = two_snapshots
+        document = diff_snapshots(snapshot_a, snapshot_b)
+        summary = document["summary"]
+        assert (
+            summary["disappeared"]
+            + summary["length_changed"]
+            + summary["unchanged"]
+            == len(result_a.successful_revelations())
+        )
+        assert (
+            summary["appeared"]
+            + summary["length_changed"]
+            + summary["unchanged"]
+            == len(result_b.successful_revelations())
+        )
+
+    def test_identical_snapshots_diff_clean(self, two_snapshots):
+        (result_a, snapshot_a), _ = two_snapshots
+        document = diff_snapshots(snapshot_a, snapshot_a)
+        summary = document["summary"]
+        assert summary["appeared"] == 0
+        assert summary["disappeared"] == 0
+        assert summary["length_changed"] == 0
+        assert summary["unchanged"] == len(
+            result_a.successful_revelations()
+        )
+
+    def test_render_mentions_every_bucket(self, two_snapshots):
+        (_, snapshot_a), (_, snapshot_b) = two_snapshots
+        text = render_diff(diff_snapshots(snapshot_a, snapshot_b))
+        assert "Tunnel churn" in text
+        assert "appeared:" in text
+        assert "disappeared:" in text
+        assert "  + " in text
+        assert "  - " in text
+
+
+class TestTunnelSourcing:
+    def test_result_summary_preferred(self, two_snapshots):
+        (result_a, snapshot_a), _ = two_snapshots
+        tunnels = snapshot_tunnels(snapshot_a)
+        assert len(tunnels) == len(result_a.successful_revelations())
+        for tunnel in tunnels:
+            assert tunnel["length"] == len(tunnel["revealed"])
+            assert tunnel["length"] > 0
+
+    def test_records_fallback_when_no_result_json(
+        self, tmp_path, two_snapshots
+    ):
+        """An interrupted run (no result.json) is still diffable."""
+        (result_a, snapshot_a), _ = two_snapshots
+        from_summary = snapshot_tunnels(snapshot_a)
+        result_path = os.path.join(str(snapshot_a.path), "result.json")
+        payload = open(result_path, encoding="utf-8").read()
+        try:
+            os.unlink(result_path)
+            from_records = snapshot_tunnels(snapshot_a)
+            document = diff_snapshots(snapshot_a, snapshot_a)
+            assert not document["a"]["from_result_summary"]
+        finally:
+            with open(result_path, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        key = lambda t: (t["ingress"], t["egress"])  # noqa: E731
+        assert sorted(map(key, from_records)) == sorted(
+            map(key, from_summary)
+        )
+        assert document["summary"]["unchanged"] == len(from_records)
+
+
+class TestResolveSnapshot:
+    def test_accepts_snapshot_dir_and_store_root(self, two_snapshots):
+        (_, snapshot_a), _ = two_snapshots
+        direct = resolve_snapshot(snapshot_a.path)
+        via_root = resolve_snapshot(snapshot_a.path.parent)
+        assert direct.path == snapshot_a.path
+        assert via_root.path == snapshot_a.path
+
+    def test_rejects_empty_and_ambiguous_roots(
+        self, tmp_path, two_snapshots
+    ):
+        with pytest.raises(ValueError, match="no campaign snapshot"):
+            resolve_snapshot(tmp_path)
+        (_, snapshot_a), (_, snapshot_b) = two_snapshots
+        crowded = tmp_path / "crowded"
+        crowded.mkdir()
+        for source in (snapshot_a, snapshot_b):
+            target = crowded / source.path.name
+            target.mkdir()
+            (target / "MANIFEST.json").write_text(
+                (source.path / "MANIFEST.json").read_text()
+            )
+        with pytest.raises(ValueError, match="2 snapshots"):
+            resolve_snapshot(crowded)
+
+
+class TestResultDocument:
+    def test_volumes_and_tunnels(self, two_snapshots):
+        (result_a, snapshot_a), _ = two_snapshots
+        document = snapshot_a.result()
+        volumes = document["volumes"]
+        assert volumes["traces"] == len(result_a.traces)
+        assert volumes["pings"] == len(result_a.pings)
+        assert volumes["pairs"] == len(result_a.pairs)
+        assert volumes["tunnels_revealed"] == len(
+            result_a.successful_revelations()
+        )
+        assert volumes["probes_sent"] == result_a.probes_sent
+        assert document["partial"] is False
+        tunnels = document["tunnels"]
+        assert tunnels == sorted(
+            tunnels,
+            key=lambda t: (t["ingress"], t["egress"]),
+        )

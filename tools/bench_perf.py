@@ -71,6 +71,73 @@ def cache_stats() -> dict:
     return stats
 
 
+def resume_stats() -> dict:
+    """Resumed-vs-cold campaign timing (checkpoint warehouse).
+
+    Runs the seeded campaign cold, then interrupts a checkpointed
+    twin halfway through its probe budget and resumes it; the resumed
+    leg replays the persisted prefix instead of re-probing, so its
+    wall-clock (and simulated packet count) quantifies what a
+    checkpoint is worth operationally.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.campaign.orchestrator import Campaign, CampaignConfig
+    from repro.store import CampaignCheckpoint
+    from repro.synth.internet import InternetConfig, build_internet
+
+    def build(budget=None):
+        internet = build_internet(InternetConfig(seed=77))
+        return internet, Campaign(
+            internet.prober,
+            internet.vps,
+            internet.asn_of_address,
+            CampaignConfig(
+                suspicious_asns=tuple(internet.transit_asns),
+                probe_budget=budget,
+            ),
+        )
+
+    topology = {"kind": "synthetic-internet", "seed": 77}
+    internet, campaign = build()
+    start = time.perf_counter()
+    cold = campaign.run(internet.campaign_targets())
+    cold_seconds = time.perf_counter() - start
+    total_probes = cold.probes_sent + cold.revelation_probes
+
+    root = tempfile.mkdtemp(prefix="bench-store-")
+    try:
+        internet, campaign = build(budget=total_probes // 2)
+        campaign.run(
+            internet.campaign_targets(),
+            checkpoint=CampaignCheckpoint(root, topology),
+        )
+        internet, campaign = build()
+        start = time.perf_counter()
+        resumed = campaign.run(
+            internet.campaign_targets(),
+            checkpoint=CampaignCheckpoint(root, topology, resume=True),
+        )
+        resumed_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "cold_seconds": round(cold_seconds, 4),
+        "resumed_seconds": round(resumed_seconds, 4),
+        "resumed_speedup": round(
+            cold_seconds / resumed_seconds, 2
+        ) if resumed_seconds else None,
+        "total_probes": total_probes,
+        "resumed_packets_simulated": resumed.perf.packets_simulated,
+        "cold_packets_simulated": cold.perf.packets_simulated,
+        "bit_identical": resumed.traces == cold.traces
+        and resumed.revelations == cold.revelations,
+    }
+
+
 def main() -> int:
     """Run everything and write the JSON snapshot."""
     output = Path(
@@ -79,6 +146,7 @@ def main() -> int:
     snapshot = {
         "benches": run_benches(),
         "campaign_cache": cache_stats(),
+        "campaign_resume": resume_stats(),
     }
     cached = snapshot["benches"].get("test_perf_full_traceroute")
     uncached = snapshot["benches"].get("test_perf_full_traceroute_uncached")
