@@ -5,6 +5,7 @@ from repro.campaign.crossval import (
     cross_validate,
     extract_explicit_tunnels,
 )
+from repro.campaign.degrade import CircuitBreaker, assess_data_quality
 from repro.campaign.hdn_driven import run_hdn_driven_campaign
 from repro.campaign.orchestrator import (
     Campaign,
@@ -23,8 +24,10 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CandidatePair",
+    "CircuitBreaker",
     "CrossValOutcome",
     "PerfStats",
+    "assess_data_quality",
     "cross_validate",
     "extract_explicit_tunnels",
     "render_report",

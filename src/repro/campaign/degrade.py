@@ -1,0 +1,211 @@
+"""Graceful degradation: circuit breakers and data-quality grading.
+
+Two pieces the campaign uses to keep producing *trustworthy partial*
+results when the measurement plane misbehaves (see
+:mod:`repro.faults`):
+
+* :class:`CircuitBreaker` — parks a target after N consecutive losses
+  so a blacked-out or silent address stops burning probe budget; the
+  ping phase revisits every parked target once at phase end (the
+  paper's campaigns similarly deprioritise persistently silent
+  addresses rather than retrying them forever);
+* :func:`assess_data_quality` — turns the run's measurement counter
+  deltas into the ``data_quality`` annotation carried by
+  :class:`~repro.campaign.orchestrator.CampaignResult`, reports, and
+  the ``repro.store.diff/1`` document: an overall grade, a confidence
+  score, per-technique confidence (FRPLA/RTLA/DPR/BRPR), and per-AS
+  breakdowns, so downstream consumers can tell a clean run's numbers
+  from ones measured through loss, quarantine, and rate limiting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.core.revelation import RevelationMethod
+
+__all__ = [
+    "DATA_QUALITY_SCHEMA",
+    "CircuitBreaker",
+    "assess_data_quality",
+]
+
+#: Schema tag on every ``data_quality`` document.
+DATA_QUALITY_SCHEMA = "repro.quality/1"
+
+#: Revelation methods that exercised the DPR side of the recursion.
+_DPR_METHODS = frozenset((
+    RevelationMethod.DPR,
+    RevelationMethod.DPR_OR_BRPR,
+    RevelationMethod.HYBRID,
+))
+
+#: Revelation methods that exercised the BRPR side.
+_BRPR_METHODS = frozenset((
+    RevelationMethod.BRPR,
+    RevelationMethod.DPR_OR_BRPR,
+    RevelationMethod.HYBRID,
+))
+
+
+class CircuitBreaker:
+    """Per-target consecutive-loss breaker.
+
+    ``record`` feeds each probe outcome; once a target misses
+    ``threshold`` times in a row, ``tripped`` returns True and the
+    caller parks the target instead of probing it.  A successful
+    response resets the streak (the breaker never re-closes on its
+    own — the campaign's phase-end revisit is the single retry).
+    A ``threshold`` of None disables the breaker entirely.
+    """
+
+    def __init__(self, threshold: Optional[int]) -> None:
+        if threshold is not None and threshold < 1:
+            raise ValueError(
+                f"breaker threshold must be >= 1, got {threshold}"
+            )
+        self.threshold = threshold
+        self._misses: Dict[object, int] = {}
+        #: Targets that tripped at least once, in trip order.
+        self.tripped_keys: List[object] = []
+        self._tripped: Set[object] = set()
+
+    def tripped(self, key: object) -> bool:
+        """Is ``key`` currently parked?"""
+        return key in self._tripped
+
+    def record(self, key: object, ok: bool) -> None:
+        """Feed one probe outcome for ``key``."""
+        if self.threshold is None:
+            return
+        if ok:
+            self._misses[key] = 0
+            return
+        misses = self._misses.get(key, 0) + 1
+        self._misses[key] = misses
+        if misses >= self.threshold and key not in self._tripped:
+            self._tripped.add(key)
+            self.tripped_keys.append(key)
+
+
+def _grade(confidence: float) -> str:
+    if confidence >= 0.9:
+        return "high"
+    if confidence >= 0.6:
+        return "degraded"
+    return "poor"
+
+
+def assess_data_quality(
+    result,
+    deltas: Mapping[str, int],
+) -> Dict[str, object]:
+    """Grade one campaign run's measurements.
+
+    ``result`` is the (fully populated) campaign result; ``deltas``
+    holds this run's measurement counter deltas (probes sent, timeout
+    replies, quarantined replies, injected faults, retries); the
+    per-AS breakdown uses the AS each candidate pair was extracted
+    from.  The returned
+    document is JSON-ready and deterministic (sorted keys, rounded
+    floats) so it checkpoints and diffs cleanly.
+    """
+    probes = int(deltas.get("measure.probes", 0))
+    timeouts = int(deltas.get("probe.reply.none", 0))
+    quarantined = int(deltas.get("measure.quarantined", 0))
+    response_rate = (
+        (probes - timeouts) / probes if probes > 0 else 1.0
+    )
+    quarantine_rate = quarantined / probes if probes > 0 else 0.0
+    confidence = max(
+        0.0, min(1.0, response_rate * (1.0 - quarantine_rate))
+    )
+
+    # Per-technique confidence: the fraction of each technique's
+    # inputs that arrived intact.
+    traces = result.traces
+    reached = sum(1 for t in traces if t.destination_reached)
+    frpla_conf = reached / len(traces) if traces else 1.0
+    pings = list(result.pings.values())
+    responsive = sum(1 for p in pings if p.responded)
+    rtla_conf = responsive / len(pings) if pings else 1.0
+
+    def _revelation_conf(methods) -> float:
+        relevant = [
+            r for r in result.revelations.values()
+            if r.method in methods
+        ]
+        if not relevant:
+            return 1.0
+        complete = sum(
+            1 for r in relevant if getattr(r, "complete", True)
+        )
+        return complete / len(relevant)
+
+    # Per-AS breakdown over the candidate pairs: how well did
+    # revelation and fingerprinting do inside each suspicious AS?
+    per_as: Dict[str, Dict[str, object]] = {}
+    by_asn: Dict[int, List] = {}
+    for pair in result.pairs:
+        by_asn.setdefault(pair.asn, []).append(pair)
+    for asn in sorted(by_asn):
+        as_pairs = by_asn[asn]
+        revealed = sum(
+            1
+            for pair in as_pairs
+            if (pair.ingress, pair.egress) in result.revelations
+            and result.revelations[
+                (pair.ingress, pair.egress)
+            ].success
+        )
+        reveal_rate = revealed / len(as_pairs)
+        as_pings = [
+            result.pings[address]
+            for address in {
+                endpoint
+                for pair in as_pairs
+                for endpoint in (pair.ingress, pair.egress)
+            }
+            if address in result.pings
+        ]
+        ping_rate = (
+            sum(1 for p in as_pings if p.responded) / len(as_pings)
+            if as_pings
+            else 0.0
+        )
+        per_as[str(asn)] = {
+            "pairs": len(as_pairs),
+            "revealed": revealed,
+            "ping_response_rate": round(ping_rate, 4),
+            "confidence": round(
+                0.5 * reveal_rate + 0.5 * ping_rate, 4
+            ),
+        }
+
+    return {
+        "schema": DATA_QUALITY_SCHEMA,
+        "grade": _grade(confidence),
+        "confidence": round(confidence, 4),
+        "response_rate": round(response_rate, 4),
+        "quarantine_rate": round(quarantine_rate, 4),
+        "counters": {
+            "probes": probes,
+            "timeouts": timeouts,
+            "quarantined": quarantined,
+            "faults_injected": int(deltas.get("faults.injected", 0)),
+            "retries": int(deltas.get("measure.retries", 0)),
+            "retries_exhausted": int(
+                deltas.get("measure.retries_exhausted", 0)
+            ),
+            "pings_parked": int(
+                deltas.get("campaign.pings_parked", 0)
+            ),
+        },
+        "techniques": {
+            "frpla": round(frpla_conf, 4),
+            "rtla": round(rtla_conf, 4),
+            "dpr": round(_revelation_conf(_DPR_METHODS), 4),
+            "brpr": round(_revelation_conf(_BRPR_METHODS), 4),
+        },
+        "per_as": per_as,
+    }

@@ -45,6 +45,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.campaign.degrade import CircuitBreaker, assess_data_quality
 from repro.core.frpla import FrplaAnalyzer
 from repro.core.revelation import (
     Revelation,
@@ -74,6 +75,18 @@ _WORKER_CAMPAIGN: Optional["Campaign"] = None
 _ENGINE_COUNTERS = (
     "trajectory_hits", "trajectory_misses", "hops_walked",
     "packets_simulated",
+)
+
+#: Measurement counters whose whole-run deltas feed the data-quality
+#: grade (see :func:`repro.campaign.degrade.assess_data_quality`).
+_QUALITY_COUNTERS = (
+    "measure.probes",
+    "probe.reply.none",
+    "measure.quarantined",
+    "faults.injected",
+    "measure.retries",
+    "measure.retries_exhausted",
+    "campaign.pings_parked",
 )
 
 
@@ -140,6 +153,14 @@ class CampaignConfig:
     #: dedupes cross-phase re-pings of addresses whose replies were
     #: already observed (see ``campaign.pings_saved``).
     cache_mode: str = "ping"
+    #: Quarantine anomalous replies (malformed RFC 4950 stacks, bogus
+    #: TTLs, spoofed sources) before they reach the analyzers — see
+    #: :mod:`repro.measure.sanitize`.
+    sanitize_replies: bool = True
+    #: Consecutive fingerprint-ping losses before the circuit breaker
+    #: parks a target (revisited once at phase end); None disables
+    #: parking.
+    breaker_threshold: Optional[int] = None
 
 
 @dataclass
@@ -171,6 +192,8 @@ MetricsRegistry` (whole-run ``engine.*`` counter deltas, plus the
     trajectory_misses: int = 0  #: engine cache misses during the run
     hops_walked: int = 0  #: per-hop walk steps executed
     packets_simulated: int = 0  #: packets simulated (probes + replies)
+    retries: int = 0  #: timeout re-probes issued by the service
+    retries_exhausted: int = 0  #: probes still unanswered after them
 
     @property
     def hit_rate(self) -> float:
@@ -210,6 +233,14 @@ class CampaignResult:
     rtla: RtlaAnalyzer = field(default_factory=RtlaAnalyzer)
     probes_sent: int = 0
     revelation_probes: int = 0
+    #: Quarantined-reply records, in measurement order (see
+    #: :mod:`repro.measure.sanitize`) — part of result equality so a
+    #: resumed run must reproduce them exactly.
+    quarantine: List[dict] = field(default_factory=list)
+    #: Data-quality annotation (``repro.quality/1``) graded from this
+    #: run's measurement counters — see
+    #: :func:`repro.campaign.degrade.assess_data_quality`.
+    data_quality: Dict[str, object] = field(default_factory=dict)
     #: True when the run stopped early (probe budget exhausted); the
     #: populated phases still hold valid partial measurements.
     partial: bool = False
@@ -317,7 +348,20 @@ class Campaign:
                 max_retries=self.config.max_retries,
                 retry_backoff_ms=self.config.retry_backoff_ms,
                 cache_mode=self.config.cache_mode,
+                sanitize=self.config.sanitize_replies,
+                address_validator=(
+                    self._known_address
+                    if self.config.sanitize_replies
+                    else None
+                ),
             )
+
+    def _known_address(self, address: int) -> bool:
+        """Does ``address`` belong to the campaign's address space?
+        (The sanitizer's spoofed-source check — a responder outside
+        the IP-to-AS view cannot be a real router of the measured
+        Internet.)"""
+        return self.asn_of(address) is not None
 
     # ------------------------------------------------------------------
     # Phases
@@ -347,9 +391,18 @@ class Campaign:
         metrics.inc("campaign.runs")
         if self.service is not None:
             # Response caching is per run: a fresh run must never
-            # serve replies measured by a previous one.
+            # serve replies measured by a previous one — likewise the
+            # quarantine log (a resume re-imports the interrupted
+            # run's records below).
             self.service.flush_cache()
+            self.service.clear_quarantine()
         cache_hits_before = metrics.get("measure.cache.hits")
+        # Baselines for the data-quality grade: taken before a resume
+        # restores the interrupted run's counters, so the final deltas
+        # cover the *whole* logical run either way.
+        quality_before = {
+            name: metrics.get(name) for name in _QUALITY_COUNTERS
+        }
         if checkpoint is not None:
             # After the flush (a resume *re-imports* the interrupted
             # run's cache) and after the cache-hit baseline (restored
@@ -418,6 +471,22 @@ class Campaign:
         )
         metrics.inc("campaign.probes", result.probes_sent)
         metrics.inc("campaign.revelation_probes", result.revelation_probes)
+        if self.service is not None:
+            result.quarantine = [
+                dict(record)
+                for record in self.service.quarantine_records
+            ]
+        quality_deltas = {
+            name: metrics.get(name) - quality_before[name]
+            for name in _QUALITY_COUNTERS
+        }
+        result.data_quality = assess_data_quality(
+            result, quality_deltas
+        )
+        result.perf.retries = quality_deltas["measure.retries"]
+        result.perf.retries_exhausted = quality_deltas[
+            "measure.retries_exhausted"
+        ]
         if checkpoint is not None:
             checkpoint.finish(result)
         logger.info(
@@ -517,27 +586,93 @@ class Campaign:
         default) the measurement service serves them from replies
         seeded during the trace phase; the saved probes surface as the
         ``campaign.pings_saved`` counter.
+
+        With ``CampaignConfig.breaker_threshold`` set, a per-target
+        circuit breaker parks addresses that missed that many pings in
+        a row: parked targets get a synthesized timeout instead of a
+        probe (``campaign.pings_parked``), and every parked address is
+        revisited with one real probe at phase end
+        (``campaign.pings_revisited``) — so a transiently blacked-out
+        router still gets a chance to upgrade its placeholder.  Parked
+        and revisit pings are checkpointed like any other; a resume
+        re-derives the breaker's decisions from the recorded outcomes.
         """
         pairs = sorted(self._ping_pairs(result))
         restored = self._restored(checkpoint, "ping")
+        breaker = (
+            CircuitBreaker(self.config.breaker_threshold)
+            if self.config.breaker_threshold is not None
+            else None
+        )
+        parked: List[Tuple[str, int]] = []
+        metrics = self.obs.metrics
         if restored:
             with self._quiet_replay(result):
-                for index in range(min(restored, len(pairs))):
-                    _, address, ping = checkpoint.restored_ping(index)
+                for index in range(restored):
+                    vp_name, address, ping = (
+                        checkpoint.restored_ping(index)
+                    )
+                    if index < len(pairs) and breaker is not None:
+                        # Re-derive the interrupted run's breaker
+                        # decisions from the recorded outcomes — the
+                        # breaker is deterministic, so the parked set
+                        # rebuilds exactly (counters were restored
+                        # from the checkpoint, so none are re-bumped
+                        # here).
+                        if breaker.tripped(address):
+                            parked.append((vp_name, address))
+                        breaker.record(address, ping.responded)
                     self._take_ping(result, address, ping)
         before = self.prober.probes_sent
         try:
             for index, (vp_name, address) in enumerate(pairs):
                 if index < restored:
                     continue
+                if breaker is not None and breaker.tripped(address):
+                    # Parked: synthesize the loss without burning a
+                    # probe; the phase-end revisit below is its one
+                    # real retry.
+                    ping = PingResult(
+                        dst=address, responded=False, source=vp_name
+                    )
+                    parked.append((vp_name, address))
+                    metrics.inc("campaign.pings_parked")
+                else:
+                    ping = self.prober.ping(
+                        self._vp_by_name[vp_name], address
+                    )
+                result.probes_sent += self.prober.probes_sent - before
+                before = self.prober.probes_sent
+                if breaker is not None:
+                    breaker.record(address, ping.responded)
+                self._take_ping(result, address, ping)
+                if checkpoint is not None:
+                    checkpoint.record_ping(index, vp_name, address, ping)
+            # Phase-end revisit: one real probe per parked address
+            # (dedup by address, first-park order).  Revisit records
+            # continue the phase's checkpoint indices past the pair
+            # list, so resume replays them like any other ping.
+            seen_parked: Set[int] = set()
+            revisit: List[Tuple[str, int]] = []
+            for vp_name, address in parked:
+                if address not in seen_parked:
+                    seen_parked.add(address)
+                    revisit.append((vp_name, address))
+            revisit_restored = max(0, restored - len(pairs))
+            for offset, (vp_name, address) in enumerate(revisit):
+                if offset < revisit_restored:
+                    continue
                 ping = self.prober.ping(
                     self._vp_by_name[vp_name], address
                 )
                 result.probes_sent += self.prober.probes_sent - before
                 before = self.prober.probes_sent
+                metrics.inc("campaign.pings_revisited")
                 self._take_ping(result, address, ping)
                 if checkpoint is not None:
-                    checkpoint.record_ping(index, vp_name, address, ping)
+                    checkpoint.record_ping(
+                        len(pairs) + offset, vp_name, address, ping
+                    )
         finally:
             result.probes_sent += self.prober.probes_sent - before
 
@@ -636,14 +771,26 @@ class Campaign:
                 if index < restored:
                     continue
                 vp = self._vp_by_name[pair.vp]
-                revelation = reveal_tunnel(
-                    self.prober,
-                    vp,
-                    ingress=pair.ingress,
-                    egress=pair.egress,
-                    max_steps=self.config.max_revelation_steps,
-                    start_ttl=self.config.start_ttl,
-                )
+                try:
+                    revelation = reveal_tunnel(
+                        self.prober,
+                        vp,
+                        ingress=pair.ingress,
+                        egress=pair.egress,
+                        max_steps=self.config.max_revelation_steps,
+                        start_ttl=self.config.start_ttl,
+                    )
+                except BudgetExceeded as exc:
+                    # Keep what the aborted recursion did reveal,
+                    # flagged incomplete.  The pair is deliberately
+                    # *not* checkpointed: a resume re-runs it whole,
+                    # replacing the partial revelation.
+                    partial = getattr(exc, "partial_revelation", None)
+                    if partial is not None:
+                        result.revelations[
+                            (pair.ingress, pair.egress)
+                        ] = partial
+                    raise
                 result.revelations[(pair.ingress, pair.egress)] = (
                     revelation
                 )

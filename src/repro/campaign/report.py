@@ -50,6 +50,8 @@ def render_perf_section(result: CampaignResult) -> str:
             ("cache hit rate", f"{perf.hit_rate:.1%}"),
             ("hops walked", perf.hops_walked),
             ("packets simulated", perf.packets_simulated),
+            ("probe retries", perf.retries),
+            ("retries exhausted", perf.retries_exhausted),
         ]
     )
     lines.append(format_table(["metric", "value"], rows))
@@ -102,6 +104,36 @@ def render_report(
     ]
     lines.append(format_table(["metric", "value"], volume_rows))
     lines.append("")
+
+    # ------------------------------------------------------------------
+    quality = result.data_quality
+    if quality:
+        lines.append("## Data quality")
+        lines.append("")
+        counters = quality.get("counters", {})
+        techniques = quality.get("techniques", {})
+        quality_rows = [
+            ("grade", quality.get("grade")),
+            ("confidence", quality.get("confidence")),
+            ("response rate", quality.get("response_rate")),
+            ("quarantined replies", counters.get("quarantined", 0)),
+            (
+                "faults injected",
+                counters.get("faults_injected", 0),
+            ),
+            ("retries exhausted", counters.get("retries_exhausted", 0)),
+            ("pings parked", counters.get("pings_parked", 0)),
+        ]
+        for technique in ("frpla", "rtla", "dpr", "brpr"):
+            if technique in techniques:
+                quality_rows.append(
+                    (
+                        f"{technique} confidence",
+                        techniques[technique],
+                    )
+                )
+        lines.append(format_table(["metric", "value"], quality_rows))
+        lines.append("")
 
     # ------------------------------------------------------------------
     lines.append("## Revelation methods")

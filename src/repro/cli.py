@@ -11,6 +11,9 @@
 * ``repro diff SNAP_A SNAP_B`` — longitudinal comparison of two
   campaign snapshots (tunnels appeared/disappeared/length-changed,
   per-AS deltas);
+* ``repro chaos`` — the campaign measured through an injected fault
+  profile (loss, latency, rate limiting, blackouts, flaps, malformed
+  replies), reporting quarantine counts and the data-quality grade;
 * ``repro list`` — available experiment identifiers.
 
 ``repro campaign --checkpoint DIR`` persists every completed probe
@@ -113,6 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=0, metavar="N",
         help="re-probe unresponsive (*) hops up to N times",
     )
+    campaign.add_argument(
+        "--fault-profile", metavar="NAME", default=None,
+        help="inject this chaos profile between the measurement "
+        "service and the simulator (see 'repro chaos --list')",
+    )
     store_group = campaign.add_mutually_exclusive_group()
     store_group.add_argument(
         "--checkpoint", metavar="DIR", default=None,
@@ -192,6 +200,53 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("directory")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the campaign under an injected fault profile",
+    )
+    chaos.add_argument(
+        "--profile", default="hostile",
+        help="shipped fault profile name (see --list)",
+    )
+    chaos.add_argument(
+        "--list", action="store_true", dest="list_profiles",
+        help="list shipped fault profiles and exit",
+    )
+    chaos.add_argument("--scale", type=float, default=0.5)
+    chaos.add_argument("--seed", type=int, default=2017)
+    chaos.add_argument("--vantage-points", type=int, default=4)
+    chaos.add_argument(
+        "--probe-budget", type=int, default=None, metavar="N",
+        help="stop cleanly (partial result) after N probes",
+    )
+    chaos.add_argument(
+        "--max-retries", type=int, default=1, metavar="N",
+        help="re-probe unresponsive (*) hops up to N times",
+    )
+    chaos.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive ping losses before a target is parked "
+        "until the end of the phase (0 disables the breaker)",
+    )
+    chaos_store = chaos.add_mutually_exclusive_group()
+    chaos_store.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="checkpoint the faulty run into a warehouse snapshot "
+        "under DIR (resume is bit-identical, faults included)",
+    )
+    chaos_store.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="resume the chaos run checkpointed under DIR",
+    )
+    chaos.add_argument(
+        "--quarantine-out", metavar="PATH", default=None,
+        help="write the quarantined-reply records as JSONL",
+    )
+    chaos.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the run summary (data_quality included) as JSON",
+    )
+
     sub.add_parser("list", help="list experiment identifiers")
     return parser
 
@@ -217,6 +272,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         log.set_level(DEBUG)
     from repro.store import StoreMismatch
 
+    if args.fault_profile is not None:
+        from repro.faults import fault_profile
+
+        try:
+            fault_profile(args.fault_profile)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         context = campaign_context(
             ContextConfig(
@@ -230,6 +293,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 replay_path=args.replay,
                 checkpoint_dir=args.resume or args.checkpoint,
                 resume=args.resume is not None,
+                fault_profile=args.fault_profile,
             )
         )
     except StoreMismatch as exc:
@@ -257,6 +321,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     if result.partial:
         print(f"PARTIAL RUN: {result.stop_summary()}")
+    if args.fault_profile is not None and result.data_quality:
+        quality = result.data_quality
+        print(
+            f"data quality: {quality.get('grade')} "
+            f"(confidence {quality.get('confidence')}, "
+            f"response rate {quality.get('response_rate')})"
+        )
     if result.checkpoint_dir:
         print(f"snapshot: {result.checkpoint_dir}")
     if args.record:
@@ -333,6 +404,106 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FAULT_PROFILES, fault_profile
+
+    if args.list_profiles:
+        for name, profile in FAULT_PROFILES.items():
+            kind = (
+                "inert" if profile.inert
+                else "network flaps" if profile.mutates_network
+                else "reply faults"
+            )
+            print(f"{name:12s} {kind}")
+        return 0
+    try:
+        fault_profile(args.profile)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    from repro.store import StoreMismatch
+
+    try:
+        context = campaign_context(
+            ContextConfig(
+                scale=args.scale,
+                seed=args.seed,
+                vantage_points=args.vantage_points,
+                probe_budget=args.probe_budget,
+                max_retries=args.max_retries,
+                breaker_threshold=args.breaker_threshold or None,
+                fault_profile=args.profile,
+                checkpoint_dir=args.resume or args.checkpoint,
+                resume=args.resume is not None,
+            )
+        )
+    except StoreMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = context.result
+    quality = result.data_quality or {}
+    counters = quality.get("counters", {})
+    print(
+        f"chaos profile {args.profile!r}: "
+        f"{len(result.traces)} traces, {len(result.pairs)} candidate "
+        f"pairs, {len(result.successful_revelations())} tunnels revealed"
+    )
+    print(
+        f"faults injected: {counters.get('faults_injected', 0)}, "
+        f"quarantined: {counters.get('quarantined', 0)}, "
+        f"retries exhausted: {counters.get('retries_exhausted', 0)}, "
+        f"pings parked: {counters.get('pings_parked', 0)}"
+    )
+    print(
+        f"data quality: {quality.get('grade', 'n/a')} "
+        f"(confidence {quality.get('confidence', 'n/a')}, "
+        f"response rate {quality.get('response_rate', 'n/a')})"
+    )
+    if result.partial:
+        summary = result.stop_summary()
+        if summary:
+            # The orchestrator's hint names the generic subcommand;
+            # a chaos run must resume under the same fault profile.
+            summary = summary.replace(
+                "repro campaign --resume",
+                f"repro chaos --profile {args.profile} --resume",
+            )
+        print(f"PARTIAL RUN: {summary}")
+    if result.checkpoint_dir:
+        print(f"snapshot: {result.checkpoint_dir}")
+    if args.quarantine_out:
+        import json
+
+        with open(args.quarantine_out, "w", encoding="utf-8") as sink:
+            for record in result.quarantine:
+                sink.write(json.dumps(record, sort_keys=True))
+                sink.write("\n")
+        print(f"quarantine log written to {args.quarantine_out}")
+    if args.json:
+        import json
+
+        from pathlib import Path
+
+        document = {
+            "profile": args.profile,
+            "seed": args.seed,
+            "scale": args.scale,
+            "partial": result.partial,
+            "volumes": {
+                "traces": len(result.traces),
+                "pings": len(result.pings),
+                "pairs": len(result.pairs),
+                "revelations": len(result.revelations),
+                "revealed": len(result.successful_revelations()),
+                "quarantined": len(result.quarantine),
+            },
+            "data_quality": quality,
+        }
+        Path(args.json).write_text(json.dumps(document, indent=1))
+        print(f"summary written to {args.json}")
+    return 0
+
+
 def _cmd_configs(args: argparse.Namespace) -> int:
     from repro.synth.ios_config import network_configs, router_config
 
@@ -375,6 +546,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "experiment": _cmd_experiment,
         "diff": _cmd_diff,
+        "chaos": _cmd_chaos,
         "configs": _cmd_configs,
         "export": _cmd_export,
         "list": _cmd_list,

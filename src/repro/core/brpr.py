@@ -15,7 +15,11 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+# net before measure: the measurement plane pulls in the dataplane,
+# whose packet model enters the net<->mpls import cycle from the wrong
+# side unless repro.net is initialised first.
 from repro.net.router import Router
+from repro.measure.service import BudgetExceeded
 from repro.obs import Obs
 from repro.probing.prober import Prober, Trace
 
@@ -43,6 +47,8 @@ class BrprResult:
     steps: List[BrprStep] = field(default_factory=list)
     #: Hidden hops in forward order (ingress side first).
     revealed: List[int] = field(default_factory=list)
+    #: False when a probe budget aborted the recursion mid-way.
+    complete: bool = True
 
     @property
     def success(self) -> bool:
@@ -116,25 +122,34 @@ def backward_recursive_revelation(
         "revelation.brpr",
         vp=vantage_point.name, ingress=ingress, egress=egress,
     ), scope:
-        for _ in range(max_steps):
-            trace = prober.traceroute(
-                vantage_point, target, start_ttl=start_ttl
-            )
-            new_hop = _new_hop_before(trace, ingress, target, exclude)
-            result.steps.append(
-                BrprStep(
-                    target=target,
-                    trace=trace,
-                    revealed=new_hop,
-                    labels_seen=trace.contains_labels(),
+        try:
+            for _ in range(max_steps):
+                trace = prober.traceroute(
+                    vantage_point, target, start_ttl=start_ttl
                 )
-            )
-            obs.metrics.inc("brpr.steps")
-            if new_hop is None:
-                break
-            result.revealed.insert(0, new_hop)
-            exclude.add(new_hop)
-            target = new_hop
+                new_hop = _new_hop_before(
+                    trace, ingress, target, exclude
+                )
+                result.steps.append(
+                    BrprStep(
+                        target=target,
+                        trace=trace,
+                        revealed=new_hop,
+                        labels_seen=trace.contains_labels(),
+                    )
+                )
+                obs.metrics.inc("brpr.steps")
+                if new_hop is None:
+                    break
+                result.revealed.insert(0, new_hop)
+                exclude.add(new_hop)
+                target = new_hop
+        except BudgetExceeded as exc:
+            # Keep the hops already peeled, flagged incomplete.
+            result.complete = False
+            obs.metrics.inc("brpr.incomplete")
+            exc.partial_brpr = result
+            raise
     if result.success:
         obs.metrics.inc("brpr.success")
         obs.metrics.inc("brpr.revealed_hops", len(result.revealed))

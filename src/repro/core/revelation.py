@@ -22,7 +22,9 @@ from enum import Enum
 from typing import List, Optional, Tuple
 
 from repro.core.frpla import rfa_of_hop
+# net before measure: see the matching note in repro.core.brpr.
 from repro.net.router import Router
+from repro.measure.service import BudgetExceeded
 from repro.obs import DEBUG, Obs
 from repro.probing.prober import Prober, Trace
 
@@ -60,6 +62,11 @@ class Revelation:
     #: Number of new hops revealed by each successive trace.
     step_reveals: List[int] = field(default_factory=list)
     labels_seen: bool = False
+    #: False when a probe budget aborted the recursion mid-way: the
+    #: revealed hops are valid but the tunnel may extend further.
+    #: Incomplete revelations are kept in the campaign result and
+    #: re-run whole on resume.
+    complete: bool = True
 
     @property
     def success(self) -> bool:
@@ -152,31 +159,41 @@ def reveal_tunnel(
         "revelation.reveal",
         vp=vantage_point.name, ingress=ingress, egress=egress,
     ), scope:
-        for _ in range(max_steps):
-            trace = prober.traceroute(
-                vantage_point, target, start_ttl=start_ttl
-            )
-            revelation.traces_used += 1
-            revelation.probes_used += len(trace.hops)
-            revelation.labels_seen |= trace.contains_labels()
-            metrics.inc("revelation.traces")
-            fresh = _fresh_between(trace, ingress, target, exclude)
-            if events.debug:
-                events.emit(
-                    "revelation.step", DEBUG, ingress=ingress,
-                    egress=egress, target=target,
-                    fresh=list(fresh) if fresh else [],
+        try:
+            for _ in range(max_steps):
+                trace = prober.traceroute(
+                    vantage_point, target, start_ttl=start_ttl
                 )
-            if not fresh:
-                break
-            metrics.inc("revelation.steps")
-            metrics.inc("revelation.revealed_hops", len(fresh))
-            revelation.step_reveals.append(len(fresh))
-            # Revealed hops sit between the ingress and the previous
-            # frontier: prepend in forward order.
-            revelation.revealed[:0] = fresh
-            exclude.update(fresh)
-            target = fresh[0]
+                revelation.traces_used += 1
+                revelation.probes_used += len(trace.hops)
+                revelation.labels_seen |= trace.contains_labels()
+                metrics.inc("revelation.traces")
+                fresh = _fresh_between(trace, ingress, target, exclude)
+                if events.debug:
+                    events.emit(
+                        "revelation.step", DEBUG, ingress=ingress,
+                        egress=egress, target=target,
+                        fresh=list(fresh) if fresh else [],
+                    )
+                if not fresh:
+                    break
+                metrics.inc("revelation.steps")
+                metrics.inc("revelation.revealed_hops", len(fresh))
+                revelation.step_reveals.append(len(fresh))
+                # Revealed hops sit between the ingress and the
+                # previous frontier: prepend in forward order.
+                revelation.revealed[:0] = fresh
+                exclude.update(fresh)
+                target = fresh[0]
+        except BudgetExceeded as exc:
+            # Keep what the aborted recursion revealed, classified
+            # from the completed steps and flagged incomplete; the
+            # caller decides whether to hold onto it.
+            revelation.complete = False
+            revelation.method = _classify(revelation)
+            metrics.inc("revelation.incomplete")
+            exc.partial_revelation = revelation
+            raise
     revelation.method = _classify(revelation)
     metrics.inc("revelation.verdict." + revelation.method.value)
     if events.info:

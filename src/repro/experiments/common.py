@@ -54,6 +54,13 @@ class ContextConfig:
     #: instead of starting fresh (bit-identical to an uninterrupted
     #: run).
     resume: bool = False
+    #: Inject this shipped chaos profile (see
+    #: :data:`repro.faults.FAULT_PROFILES`) between the measurement
+    #: service and the simulator; None measures cleanly.
+    fault_profile: Optional[str] = None
+    #: Circuit-breaker threshold for the campaign's ping phase
+    #: (consecutive losses before a target is parked); None disables.
+    breaker_threshold: Optional[int] = None
 
 
 class CampaignContext:
@@ -91,6 +98,7 @@ class CampaignContext:
                 workers=config.workers,
                 probe_budget=config.probe_budget,
                 max_retries=config.max_retries,
+                breaker_threshold=config.breaker_threshold,
             ),
         )
         checkpoint = self._build_checkpoint(config)
@@ -149,11 +157,22 @@ class CampaignContext:
                 ),
                 None,
             )
+        backend = None
+        if config.fault_profile is not None:
+            from repro.faults import FaultyBackend, fault_profile
+
+            backend = FaultyBackend(
+                SimBackend(self.internet.engine),
+                fault_profile(config.fault_profile),
+            )
         if config.record_path is not None:
             recording = RecordingBackend(
-                SimBackend(self.internet.engine), config.record_path
+                backend or SimBackend(self.internet.engine),
+                config.record_path,
             )
             return Prober(recording), recording
+        if backend is not None:
+            return Prober(backend), None
         return self.internet.prober, None
 
     def _build_checkpoint(self, config: ContextConfig):
@@ -179,6 +198,13 @@ class CampaignContext:
                 "stubs_per_transit": config.stubs_per_transit,
                 "ttl_propagate_everywhere": (
                     config.ttl_propagate_everywhere
+                ),
+                # Only stamped when chaos is on, so clean-run
+                # snapshot keys are unchanged across versions.
+                **(
+                    {"fault_profile": config.fault_profile}
+                    if config.fault_profile is not None
+                    else {}
                 ),
             },
             resume=config.resume,

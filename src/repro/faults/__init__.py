@@ -1,0 +1,40 @@
+"""repro.faults — chaos for the measurement plane.
+
+Dynamic, deterministic fault injection between the measurement service
+and whatever backend actually answers probes:
+
+* :mod:`repro.faults.profile` — :class:`FaultProfile`, the seeded,
+  JSON-ready description of one chaos scenario, plus the shipped
+  registry (:data:`FAULT_PROFILES`) and the loss-intensity ladder;
+* :mod:`repro.faults.backend` — :class:`FaultyBackend`, the
+  :class:`~repro.measure.backend.ProbeBackend` decorator that applies
+  a profile (probe loss, latency spikes, rate-limit windows,
+  blackouts, flaps, malformed replies) while staying bit-reproducible
+  under checkpoint/resume.
+
+The graceful-degradation counterpart lives where the campaign does:
+:mod:`repro.measure.sanitize` quarantines anomalous replies and
+:mod:`repro.campaign.degrade` parks repeatedly dead targets and grades
+the run's ``data_quality``.
+"""
+
+from repro.faults.backend import FaultyBackend, spoofed_address
+from repro.faults.profile import (
+    FAULT_PROFILES,
+    FLAP_ACTIONS,
+    LOSS_LADDER,
+    FaultProfile,
+    fault_profile,
+    profile_names,
+)
+
+__all__ = [
+    "FAULT_PROFILES",
+    "FLAP_ACTIONS",
+    "LOSS_LADDER",
+    "FaultProfile",
+    "FaultyBackend",
+    "fault_profile",
+    "profile_names",
+    "spoofed_address",
+]

@@ -9,7 +9,10 @@ pings) from *how* probes are emitted:
   layer (budgets, retries, deadlines, response caching);
 * :mod:`repro.measure.sim` — :class:`SimBackend`, the one adapter
   that drives the packet-level simulator;
-* :mod:`repro.measure.replay` — JSONL probe-log record/replay.
+* :mod:`repro.measure.replay` — JSONL probe-log record/replay;
+* :mod:`repro.measure.sanitize` — reply sanity checks feeding the
+  service's quarantine (the graceful-degradation gate in front of
+  FRPLA/RTLA/DPR/BRPR).
 
 The composer (:class:`repro.probing.prober.Prober`) and everything
 above it depend only on this package; the simulator is an
@@ -34,6 +37,11 @@ from repro.measure.replay import (
     ReplayBackend,
     ReplayMiss,
 )
+from repro.measure.sanitize import (
+    MAX_MPLS_LABEL,
+    VALID_REPLY_KINDS,
+    inspect_reply,
+)
 from repro.measure.service import (
     BudgetExceeded,
     MeasurementPolicy,
@@ -46,9 +54,11 @@ __all__ = [
     "DEST_UNREACHABLE",
     "ECHO_REPLY",
     "ECHO_REQUEST",
+    "MAX_MPLS_LABEL",
     "PING_TTL",
     "TIME_EXCEEDED",
     "UDP_PROBE",
+    "VALID_REPLY_KINDS",
     "BudgetExceeded",
     "MeasurementPolicy",
     "ProbeBackend",
@@ -61,6 +71,7 @@ __all__ = [
     "SimBackend",
     "TraceBudget",
     "as_probe_service",
+    "inspect_reply",
     "reply_from_wire",
     "reply_to_wire",
 ]

@@ -1,0 +1,80 @@
+"""Reply sanity checks: the quarantine gate in front of the analyzers.
+
+A real campaign receives garbage — spoofed sources, corrupt RFC 4950
+label-stack entries, impossible TTLs — and feeding it to
+FRPLA/RTLA/DPR/BRPR silently corrupts their statistics.
+:func:`inspect_reply` decides whether one reply is trustworthy;
+:class:`~repro.measure.service.ProbeService` calls it (when the
+policy's ``sanitize`` flag is on) and converts offenders into
+timeouts, recording each quarantined reply with its reason so reports
+and the chaos soak can account for them.
+
+The checks are structural (field ranges a well-formed ICMP reply
+cannot violate) plus one semantic check — an optional
+``address_validator`` that rejects responders outside the known
+address space (how a campaign with an IP-to-AS view catches spoofed
+sources).  A clean deterministic backend never trips any of them,
+which is pinned by the zero-fault transparency tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.measure.backend import (
+    DEST_UNREACHABLE,
+    ECHO_REPLY,
+    TIME_EXCEEDED,
+    ProbeReply,
+    ProbeRequest,
+)
+
+__all__ = [
+    "MAX_MPLS_LABEL",
+    "VALID_REPLY_KINDS",
+    "inspect_reply",
+]
+
+#: MPLS labels are 20-bit (RFC 3032).
+MAX_MPLS_LABEL = (1 << 20) - 1
+
+#: Reply kinds a probe can legitimately produce.
+VALID_REPLY_KINDS = frozenset(
+    (ECHO_REPLY, TIME_EXCEEDED, DEST_UNREACHABLE)
+)
+
+
+def inspect_reply(
+    request: ProbeRequest,
+    reply: ProbeReply,
+    address_validator: Optional[Callable[[int], bool]] = None,
+) -> Optional[str]:
+    """Why ``reply`` should be quarantined, or None when it is sane.
+
+    Only called for replies that responded; timeouts carry nothing to
+    check.  Reasons are stable short slugs — they become
+    ``measure.quarantined.<reason>`` counters and the ``reason`` field
+    of quarantine records.
+    """
+    if reply.reply_kind not in VALID_REPLY_KINDS:
+        return "unknown-kind"
+    if reply.responder is None:
+        return "missing-responder"
+    if reply.reply_ttl is not None and not 1 <= reply.reply_ttl <= 255:
+        return "bogus-reply-ttl"
+    if reply.rtt_ms < 0:
+        return "negative-rtt"
+    for entry in reply.quoted_labels:
+        try:
+            label, quoted_ttl = entry
+        except (TypeError, ValueError):
+            return "malformed-label-entry"
+        if not 0 <= label <= MAX_MPLS_LABEL:
+            return "bogus-label"
+        if not 1 <= quoted_ttl <= 255:
+            return "bogus-quoted-ttl"
+    if address_validator is not None and not address_validator(
+        reply.responder
+    ):
+        return "spoofed-source"
+    return None

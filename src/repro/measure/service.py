@@ -43,6 +43,7 @@ from repro.measure.backend import (
     reply_from_wire,
     reply_to_wire,
 )
+from repro.measure.sanitize import inspect_reply
 from repro.obs import DEBUG, Obs
 
 __all__ = [
@@ -101,6 +102,13 @@ class MeasurementPolicy:
     #: full-TTL echo replies, keyed ``(source, dst, flow)``), or
     #: ``"all"`` (additionally cache per-TTL traceroute replies).
     cache_mode: str = "off"
+    #: Run :func:`repro.measure.sanitize.inspect_reply` on every
+    #: responded reply and quarantine offenders (they become
+    #: timeouts; the analyzers never see them).
+    sanitize: bool = False
+    #: Optional responder-address validator for the sanitizer's
+    #: spoofed-source check (e.g. ``asn_of(addr) is not None``).
+    address_validator: Optional[Callable[[int], bool]] = None
 
 
 class TraceBudget:
@@ -153,6 +161,9 @@ class ProbeService:
         self._scopes: List[str] = []
         self._scope_spent: Dict[str, int] = {}
         self._cache: Dict[tuple, ProbeReply] = {}
+        #: Quarantined-reply records (insertion order), each a
+        #: JSON-ready dict with the probe identity and the reason.
+        self._quarantine: List[Dict[str, object]] = []
         self._unmetered = False
         # Backends wrapping a simulator invalidate cached replies when
         # the control plane changes under them.
@@ -214,7 +225,9 @@ class ProbeService:
             cached = self._cache.get(key)
             if cached is not None:
                 return self._serve_cached(request, cached, trace_budget)
-        reply = self._submit_with_retries(request, "traceroute")
+        reply = self._submit_with_retries(
+            request, "traceroute", trace_budget
+        )
         if key is not None:
             self._cache[key] = reply
         if trace_budget is not None:
@@ -312,6 +325,33 @@ class ProbeService:
         return len(self._cache)
 
     # ------------------------------------------------------------------
+    # Quarantine (see :mod:`repro.measure.sanitize`)
+
+    @property
+    def quarantine_records(self) -> List[Dict[str, object]]:
+        """The quarantined-reply records accumulated so far."""
+        return list(self._quarantine)
+
+    def clear_quarantine(self) -> None:
+        """Drop every quarantine record (start of a fresh run)."""
+        self._quarantine.clear()
+
+    def export_quarantine(
+        self, known: int = 0
+    ) -> List[Dict[str, object]]:
+        """Records appended since the first ``known`` (for
+        delta-style checkpoint exports)."""
+        return [dict(record) for record in self._quarantine[known:]]
+
+    def import_quarantine(
+        self, entries: Sequence[Mapping[str, object]]
+    ) -> int:
+        """Append entries exported by :meth:`export_quarantine`."""
+        for entry in entries:
+            self._quarantine.append(dict(entry))
+        return len(entries)
+
+    # ------------------------------------------------------------------
     # Checkpointable state (consumed by :mod:`repro.store`)
 
     def state_snapshot(self) -> Dict[str, object]:
@@ -319,13 +359,19 @@ class ProbeService:
 
         Captures exactly what a resumed campaign must restore for its
         budgets to continue where the interrupted run stopped:
-        probes already sent and the per-scope spend.  Policy is *not*
-        included — the resuming campaign installs its own.
+        probes already sent, the per-scope spend, and — when the
+        backend injects scheduled faults — the backend's fault clock.
+        Policy is *not* included — the resuming campaign installs its
+        own.
         """
-        return {
+        state: Dict[str, object] = {
             "probes_sent": self.probes_sent,
             "scope_spent": dict(self._scope_spent),
         }
+        fault_state = getattr(self.backend, "fault_state", None)
+        if callable(fault_state):
+            state["backend"] = fault_state()
+        return state
 
     def restore_state(self, state: Mapping[str, object]) -> None:
         """Restore accounting saved by :meth:`state_snapshot`."""
@@ -336,6 +382,11 @@ class ProbeService:
                 state.get("scope_spent") or {}
             ).items()
         }
+        restore = getattr(self.backend, "restore_fault_state", None)
+        if callable(restore) and isinstance(
+            state.get("backend"), Mapping
+        ):
+            restore(state["backend"])
 
     def cache_keys(self) -> frozenset:
         """The keys currently cached (for delta-style exports)."""
@@ -471,8 +522,14 @@ class ProbeService:
     def _observe_reply(
         self, request: ProbeRequest, reply: ProbeReply
     ) -> ProbeReply:
-        """Apply the probe deadline and record reply counters."""
+        """Apply deadline + sanity checks, record reply counters."""
         reply = self._enforce_probe_deadline(reply)
+        if self.policy.sanitize and reply.reply_kind is not None:
+            reason = inspect_reply(
+                request, reply, self.policy.address_validator
+            )
+            if reason is not None:
+                reply = self._quarantine_reply(request, reply, reason)
         kind = reply.reply_kind or "none"
         self.obs.metrics.inc("probe.reply." + kind)
         events = self.obs.events
@@ -496,38 +553,101 @@ class ProbeService:
             return ProbeReply(probe_ttl=reply.probe_ttl)
         return reply
 
+    def _quarantine_reply(
+        self, request: ProbeRequest, reply: ProbeReply, reason: str
+    ) -> ProbeReply:
+        """Record one anomalous reply and convert it to a timeout.
+
+        The record order is the probe order, which is deterministic,
+        so the quarantine log takes part in the checkpoint/resume
+        bit-identity contract like any other measurement artefact.
+        """
+        self._quarantine.append(
+            {
+                "vp": request.source,
+                "dst": request.dst,
+                "ttl": request.ttl,
+                "flow": request.flow_id,
+                "reason": reason,
+                "responder": reply.responder,
+                "kind": reply.reply_kind,
+            }
+        )
+        metrics = self.obs.metrics
+        metrics.inc("measure.quarantined")
+        metrics.inc("measure.quarantined." + reason)
+        events = self.obs.events
+        if events.info:
+            events.emit(
+                "measure.quarantine", reason=reason,
+                vp=request.source, dst=request.dst, ttl=request.ttl,
+                responder=reply.responder,
+            )
+        return ProbeReply(probe_ttl=reply.probe_ttl)
+
     def _attempt(self, request: ProbeRequest, probe: str) -> ProbeReply:
         """One accounted submission through the backend."""
         self._account(request, probe)
         return self._observe_reply(request, self.backend.submit(request))
 
     def _submit_with_retries(
-        self, request: ProbeRequest, probe: str
+        self,
+        request: ProbeRequest,
+        probe: str,
+        trace_budget: Optional[TraceBudget] = None,
     ) -> ProbeReply:
         """Submit, retrying timeouts up to ``max_retries`` times."""
         reply = self._attempt(request, probe)
-        return self._retry_timeouts(request, reply, probe)
+        return self._retry_timeouts(request, reply, probe, trace_budget)
 
     def _retry_timeouts(
-        self, request: ProbeRequest, reply: ProbeReply, probe: str
+        self,
+        request: ProbeRequest,
+        reply: ProbeReply,
+        probe: str,
+        trace_budget: Optional[TraceBudget] = None,
     ) -> ProbeReply:
-        """The shared retry tail: re-probe while the reply is a ``*``."""
+        """The shared retry tail: re-probe while the reply is a ``*``.
+
+        Each retry's backoff charges the active trace deadline (the
+        time a real prober would have waited before the re-probe), and
+        an already-expired deadline stops the retry loop — retries can
+        no longer overshoot a per-trace deadline.
+        """
         attempt = 0
         while (
             reply.reply_kind is None
             and attempt < self.policy.max_retries
         ):
+            if trace_budget is not None and trace_budget.expired:
+                break
             self.obs.metrics.inc("measure.retries")
-            self._backoff(attempt)
+            delay_ms = self._backoff(attempt)
+            if trace_budget is not None and delay_ms > 0:
+                already = trace_budget.expired
+                trace_budget.charge(delay_ms)
+                if trace_budget.expired and not already:
+                    self.obs.metrics.inc("measure.deadline.trace")
             attempt += 1
             reply = self._attempt(request, probe)
+        if (
+            reply.reply_kind is None
+            and self.policy.max_retries > 0
+            and attempt >= self.policy.max_retries
+        ):
+            self.obs.metrics.inc("measure.retries_exhausted")
         return reply
 
-    def _backoff(self, attempt: int) -> None:
-        """Exponential wall-clock backoff (no-op at 0 ms base)."""
+    def _backoff(self, attempt: int) -> float:
+        """Exponential wall-clock backoff (no-op at 0 ms base).
+
+        Returns the delay in milliseconds so callers can charge it to
+        simulated-time deadlines.
+        """
         delay_ms = self.policy.retry_backoff_ms * (2 ** attempt)
         if delay_ms > 0:
             time.sleep(delay_ms / 1000.0)
+        return delay_ms
 
     def _charge_trace(
         self, budget: TraceBudget, reply: ProbeReply

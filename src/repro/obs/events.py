@@ -66,6 +66,9 @@ SCHEMAS: Dict[str, FrozenSet[str]] = {
     "technique.verdict": frozenset({"technique", "success"}),
     "span": frozenset({"name", "span", "parent", "ms"}),
     "campaign.metrics": frozenset({"counters"}),
+    "fault.injected": frozenset({"fault", "vp", "dst", "ttl"}),
+    "fault.flap": frozenset({"action", "at_probe"}),
+    "measure.quarantine": frozenset({"reason", "vp", "dst", "ttl"}),
 }
 
 

@@ -145,6 +145,7 @@ def revelations_to_dicts(
             "probes_used": revelation.probes_used,
             "step_reveals": list(revelation.step_reveals),
             "labels_seen": revelation.labels_seen,
+            "complete": revelation.complete,
         }
         for _, revelation in sorted(revelations.items())
     ]
@@ -165,6 +166,7 @@ def revelations_from_dicts(
             probes_used=item["probes_used"],
             step_reveals=list(item["step_reveals"]),
             labels_seen=item["labels_seen"],
+            complete=item.get("complete", True),
         )
         revelations[(revelation.ingress, revelation.egress)] = revelation
     return revelations

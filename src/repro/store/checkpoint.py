@@ -114,6 +114,7 @@ class CampaignCheckpoint:
         self._seq = 0
         self._cache_known: frozenset = frozenset()
         self._labels_known = 0
+        self._quarantine_known = 0
 
     # ------------------------------------------------------------------
     # Lifecycle (driven by Campaign.run)
@@ -179,6 +180,12 @@ class CampaignCheckpoint:
                 "revelations": len(result.revelations),
                 "probes_sent": result.probes_sent,
                 "revelation_probes": result.revelation_probes,
+                "quarantined": len(
+                    getattr(result, "quarantine", [])
+                ),
+                "data_quality": (
+                    getattr(result, "data_quality", {}) or {}
+                ).get("grade"),
                 "updated": time.time(),
             }
         )
@@ -384,24 +391,15 @@ class CampaignCheckpoint:
         allocator = self._allocator()
         metrics = self._obs.metrics
         last_state = None
-        cache_entries = 0
         for phase in PHASES:
             for record in self._restored[phase]:
                 state = record.get("state")
-                if not isinstance(state, dict):
-                    continue
-                last_state = state
-                cache_entries += service.import_cache(
-                    state.get("cache_added") or []
-                )
-                if allocator is not None:
-                    # LDP labels are first-use allocated: reinstate
-                    # the interrupted run's allocation order so live
-                    # probes observe the same label numbers.
-                    allocator.import_bindings(
-                        state.get("labels_added") or []
-                    )
+                if isinstance(state, dict):
+                    last_state = state
         if last_state is not None:
+            # Service/backend state first: re-firing the interrupted
+            # run's flaps invalidates caches on the still-empty fresh
+            # stack, instead of wiping the entries imported below.
             service.restore_state(last_state.get("service") or {})
             counters = dict(last_state.get("counters") or {})
             for name in RESUME_EXEMPT_COUNTERS:
@@ -414,7 +412,31 @@ class CampaignCheckpoint:
             self._result.revelation_probes = int(
                 result_state.get("revelation_probes", 0)
             )
+        cache_entries = 0
+        for phase in PHASES:
+            for record in self._restored[phase]:
+                state = record.get("state")
+                if not isinstance(state, dict):
+                    continue
+                if state.get("cache_flushed"):
+                    # Replay the mid-run invalidation at the exact
+                    # record where the interrupted run observed it.
+                    service.flush_cache()
+                cache_entries += service.import_cache(
+                    state.get("cache_added") or []
+                )
+                service.import_quarantine(
+                    state.get("quarantine_added") or []
+                )
+                if allocator is not None:
+                    # LDP labels are first-use allocated: reinstate
+                    # the interrupted run's allocation order so live
+                    # probes observe the same label numbers.
+                    allocator.import_bindings(
+                        state.get("labels_added") or []
+                    )
         self._cache_known = service.cache_keys()
+        self._quarantine_known = len(service.quarantine_records)
         if allocator is not None:
             self._labels_known = len(allocator)
         restored = sum(
@@ -430,9 +452,23 @@ class CampaignCheckpoint:
         )
         for name in RESUME_EXEMPT_COUNTERS:
             counters.pop(name, None)
+        # A known key vanishing means the cache was flushed since the
+        # previous record (flap-driven invalidation): the full current
+        # cache must be re-exported, and the resume must flush at this
+        # exact point before importing it.
+        cache_flushed = bool(
+            self._cache_known - service.cache_keys()
+        )
+        if cache_flushed:
+            self._cache_known = frozenset()
         cache_added = service.export_cache(self._cache_known)
         if cache_added:
             self._cache_known = service.cache_keys()
+        quarantine_added = service.export_quarantine(
+            self._quarantine_known
+        )
+        if quarantine_added:
+            self._quarantine_known = len(service.quarantine_records)
         allocator = self._allocator()
         labels_added = []
         if allocator is not None:
@@ -448,7 +484,11 @@ class CampaignCheckpoint:
             "service": service.state_snapshot(),
             "counters": counters,
             "cache_added": cache_added,
+            # Only stamped when a flush happened, so clean-run record
+            # bytes are unchanged across versions.
+            **({"cache_flushed": True} if cache_flushed else {}),
             "labels_added": labels_added,
+            "quarantine_added": quarantine_added,
         }
 
     def _allocator(self):
@@ -542,7 +582,9 @@ def result_document(
             "tunnels_revealed": len(tunnels),
             "probes_sent": result.probes_sent,
             "revelation_probes": result.revelation_probes,
+            "quarantined": len(getattr(result, "quarantine", [])),
         },
+        "data_quality": getattr(result, "data_quality", {}) or None,
         "tunnels": tunnels,
         "per_as": per_as,
     }

@@ -97,11 +97,16 @@ def snapshot_tunnels(snapshot: Snapshot) -> List[dict]:
 def _snapshot_head(snapshot: Snapshot) -> dict:
     manifest = snapshot.manifest() or {}
     status = snapshot.run_status() or {}
+    result = snapshot.result() or {}
     return {
         "path": str(snapshot.path),
         "key": manifest.get("key"),
         "partial": status.get("partial"),
         "from_result_summary": snapshot.result() is not None,
+        #: The run's measurement trustworthiness (repro.quality/1) —
+        #: a churn diff between a clean and a degraded campaign means
+        #: something very different from one between two clean runs.
+        "data_quality": result.get("data_quality"),
     }
 
 
@@ -207,6 +212,16 @@ def render_diff(document: dict) -> str:
         f"  length changed: {summary['length_changed']}",
         f"  unchanged:      {summary['unchanged']}",
     ]
+    qualities = []
+    for side in ("a", "b"):
+        quality = document[side].get("data_quality") or {}
+        if quality.get("grade"):
+            qualities.append(
+                f"{side}={quality['grade']}"
+                f" ({quality.get('confidence')})"
+            )
+    if qualities:
+        lines.append("  data quality:   " + ", ".join(qualities))
     for label, key in (
         ("+", "appeared"), ("-", "disappeared"),
     ):

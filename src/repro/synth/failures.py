@@ -4,7 +4,12 @@ Real campaigns face ICMP-silent routers, rate limiting, and LSRs that
 do not implement RFC 4950 — the ingredients behind the paper's 8%
 cross-validation failure class and the 9,407 non-rediscovered pairs.
 These helpers degrade a built network deterministically (seeded) so
-tests can measure how gracefully each technique fails.
+tests can measure how gracefully each technique fails; every
+injection stashes the pristine router state so :func:`restore` is an
+exact round-trip (RFC 4950 quoting included).
+
+For *dynamic* faults — loss, latency, rate-limit windows, flaps
+applied at the probe layer mid-campaign — see :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -43,6 +48,21 @@ def pick_routers(
     return rng.sample(pool, count)
 
 
+def _stash(router: Router) -> None:
+    """Remember ``router``'s pristine fault-relevant state once.
+
+    The first injection on a router snapshots what it is about to
+    change; :func:`restore` pops the snapshot for an exact round-trip
+    even when several injections stacked on the same router.
+    """
+    if not hasattr(router, "_fault_stash"):
+        router._fault_stash = {
+            "icmp_enabled": router.icmp_enabled,
+            "icmp_response_rate": router.icmp_response_rate,
+            "mpls": router.mpls,
+        }
+
+
 def silence_routers(
     network: Network,
     fraction: float,
@@ -52,6 +72,7 @@ def silence_routers(
     """Make a seeded share of routers fully ICMP-silent."""
     routers = pick_routers(network, fraction, seed, asns)
     for router in routers:
+        _stash(router)
         router.icmp_enabled = False
     return routers
 
@@ -68,6 +89,7 @@ def rate_limit_routers(
         raise ValueError(f"rate out of range: {rate}")
     routers = pick_routers(network, fraction, seed, asns)
     for router in routers:
+        _stash(router)
         router.icmp_response_rate = rate
     return routers
 
@@ -85,12 +107,29 @@ def disable_rfc4950(
         if router.mpls.enabled
     ]
     for router in routers:
+        _stash(router)
         router.mpls = router.mpls.with_overrides(rfc4950=False)
     return routers
 
 
 def restore(routers: Iterable[Router]) -> None:
-    """Undo silencing/rate limiting on ``routers`` (not RFC 4950)."""
+    """Undo every injection on ``routers``, exactly.
+
+    Routers touched by :func:`silence_routers`,
+    :func:`rate_limit_routers`, or :func:`disable_rfc4950` carry a
+    stash of their pristine state; restoring pops it, so ICMP flags,
+    response rates, *and* RFC 4950 quoting all return to their
+    pre-injection values and a restored network measures identically
+    to an untouched one.  Routers without a stash (degraded by older
+    code paths) fall back to factory ICMP defaults.
+    """
     for router in routers:
-        router.icmp_enabled = True
-        router.icmp_response_rate = 1.0
+        stash = getattr(router, "_fault_stash", None)
+        if stash is not None:
+            router.icmp_enabled = stash["icmp_enabled"]
+            router.icmp_response_rate = stash["icmp_response_rate"]
+            router.mpls = stash["mpls"]
+            del router._fault_stash
+        else:
+            router.icmp_enabled = True
+            router.icmp_response_rate = 1.0

@@ -171,3 +171,69 @@ class TestCampaignUnderFailures:
             asn = internet.asn_of_address(x)
             for address in revelation.revealed:
                 assert internet.asn_of_address(address) == asn
+
+
+class TestRestoreRoundTrip:
+    """Satellite: restore() is an exact inverse of every injection."""
+
+    def _pristine(self, network):
+        return {
+            name: (
+                router.icmp_enabled,
+                router.icmp_response_rate,
+                router.mpls,
+            )
+            for name, router in sorted(network.routers.items())
+        }
+
+    def test_stacked_injections_restore_exactly(self):
+        internet = small_internet()
+        pristine = self._pristine(internet.network)
+        touched = {}
+        for router in silence_routers(
+            internet.network, 0.3, seed=1
+        ):
+            touched[router.name] = router
+        for router in rate_limit_routers(
+            internet.network, rate=0.5, fraction=0.4, seed=2
+        ):
+            touched[router.name] = router
+        for router in disable_rfc4950(
+            internet.network, 0.5, seed=3
+        ):
+            touched[router.name] = router
+        assert touched  # the injections overlapped some routers
+        assert self._pristine(internet.network) != pristine
+
+        restore(touched.values())
+        after = self._pristine(internet.network)
+        assert after == pristine
+        for name, (_, _, mpls) in pristine.items():
+            # Exact round-trip: the original MplsConfig object comes
+            # back, not a lookalike.
+            assert internet.network.routers[name].mpls is mpls
+            assert not hasattr(
+                internet.network.routers[name], "_fault_stash"
+            )
+
+    def test_restored_network_measures_identically(self):
+        untouched = small_internet()
+        wrecked = small_internet()
+        routers = []
+        routers += silence_routers(wrecked.network, 0.3, seed=1)
+        routers += rate_limit_routers(
+            wrecked.network, rate=0.5, fraction=0.4, seed=2
+        )
+        routers += disable_rfc4950(wrecked.network, 0.5, seed=3)
+        restore(routers)
+
+        vp = untouched.vps[0]
+        vp_restored = wrecked.vps[0]
+        for dst in untouched.campaign_targets()[:8]:
+            baseline = untouched.prober.traceroute(vp, dst)
+            again = wrecked.prober.traceroute(vp_restored, dst)
+            assert again == baseline
+        assert (
+            wrecked.prober.probes_sent
+            == untouched.prober.probes_sent
+        )

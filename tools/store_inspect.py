@@ -91,6 +91,7 @@ def summarize_snapshot(path: str) -> dict:
     position = 0
     seq_broken = False
     last_state = None
+    quarantined = 0
     for phase in PHASES:
         records, size, damaged = load_phase(
             os.path.join(path, "phases", f"{phase}.jsonl")
@@ -103,6 +104,9 @@ def summarize_snapshot(path: str) -> dict:
                 state = record.get("state")
                 if isinstance(state, dict):
                     last_state = state
+                    quarantined += len(
+                        state.get("quarantine_added") or []
+                    )
             else:
                 seq_broken = True
         phases[phase] = {
@@ -117,6 +121,7 @@ def summarize_snapshot(path: str) -> dict:
         "phases": phases,
         "chain_length": position,
         "last_state": last_state,
+        "quarantined": quarantined,
         "run": load_json(os.path.join(path, "run.json")),
         "result": load_json(os.path.join(path, "result.json")),
     }
@@ -173,6 +178,20 @@ def render(summary: dict) -> str:
         scopes = service.get("scope_spent") or {}
         for scope, spent in sorted(scopes.items()):
             lines.append(f"  scope {scope:<12s} {spent}")
+        counters = state.get("counters") or {}
+        chaos = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith(("faults.", "measure.quarantined"))
+            or name
+            in ("measure.retries_exhausted", "campaign.pings_parked")
+        }
+        if chaos or summary.get("quarantined"):
+            lines.append(
+                f"  quarantined records  {summary.get('quarantined', 0)}"
+            )
+        for name, value in sorted(chaos.items()):
+            lines.append(f"  {name:<28s} {value}")
         lines.append("")
 
     run = summary["run"]

@@ -8,15 +8,28 @@ slowest spans.  Self-contained on purpose — it only needs the JSONL
 file, not the ``repro`` package, so it can run anywhere the artefact
 lands (CI, a laptop, a jump host).
 
+With ``--faults`` the digest is replaced by a JSONL filter: only the
+chaos-related events (``fault.injected``, ``fault.flap``,
+``measure.quarantine``) are re-emitted, one JSON object per line, for
+piping into ``jq`` or a spreadsheet.
+
 Usage::
 
     python tools/trace_inspect.py trace.jsonl
+    python tools/trace_inspect.py --faults trace.jsonl
 """
 
 import json
 import sys
 from collections import Counter, defaultdict
 from typing import Dict, Iterable, List
+
+#: Event kinds re-emitted verbatim by ``--faults``.
+FAULT_EVENT_KINDS = (
+    "fault.injected",
+    "fault.flap",
+    "measure.quarantine",
+)
 
 
 def load_records(path: str) -> List[dict]:
@@ -58,6 +71,9 @@ def summarize(records: Iterable[dict]) -> dict:
     methods = Counter()
     span_totals: Dict[str, List[float]] = defaultdict(list)
     counters: Dict[str, int] = {}
+    faults = Counter()
+    flaps = Counter()
+    quarantine = Counter()
     current_phase = "(outside)"
 
     for record in records:
@@ -83,6 +99,12 @@ def summarize(records: Iterable[dict]) -> dict:
             technique = str(record.get("technique"))
             outcome = "success" if record.get("success") else "failure"
             verdicts[technique][outcome] += 1
+        elif kind == "fault.injected":
+            faults[str(record.get("fault"))] += 1
+        elif kind == "fault.flap":
+            flaps[str(record.get("action"))] += 1
+        elif kind == "measure.quarantine":
+            quarantine[str(record.get("reason"))] += 1
         elif kind == "span":
             span_totals[str(record.get("name"))].append(
                 float(record.get("ms", 0.0))
@@ -116,6 +138,9 @@ def summarize(records: Iterable[dict]) -> dict:
             }
             for name, values in span_totals.items()
         },
+        "faults": dict(faults),
+        "flaps": dict(flaps),
+        "quarantine": dict(quarantine),
         "counters": counters,
     }
 
@@ -160,6 +185,34 @@ def render(summary: dict) -> str:
         )
     lines.append("")
 
+    faults = summary["faults"]
+    flaps = summary["flaps"]
+    quarantine = summary["quarantine"]
+    counters = summary["counters"]
+    chaos_counters = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith(("faults.", "measure.quarantined"))
+        or name
+        in ("measure.retries_exhausted", "campaign.pings_parked")
+    }
+    if faults or flaps or quarantine or chaos_counters:
+        lines.append("## Faults and quarantine")
+        for fault, count in sorted(faults.items()):
+            lines.append(f"  injected {fault:<18s} {count:>6d}")
+        for action, count in sorted(flaps.items()):
+            lines.append(f"  flap     {action:<18s} {count:>6d}")
+        for reason, count in sorted(quarantine.items()):
+            lines.append(f"  quarantined {reason:<15s} {count:>6d}")
+        if not (faults or flaps or quarantine):
+            lines.append(
+                "  (no per-event records — trace not at debug level; "
+                "counters below)"
+            )
+        for name, value in sorted(chaos_counters.items()):
+            lines.append(f"  {name:<28s} {value:>6d}")
+        lines.append("")
+
     spans = summary["spans"]
     if spans:
         lines.append("## Spans (by total time)")
@@ -178,23 +231,41 @@ def render(summary: dict) -> str:
     return "\n".join(lines)
 
 
+def filter_faults(records: Iterable[dict]) -> List[dict]:
+    """The chaos-related events, original order preserved."""
+    return [
+        record
+        for record in records
+        if record.get("kind") in FAULT_EVENT_KINDS
+    ]
+
+
 def main(argv: List[str]) -> int:
-    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+    arguments = list(argv[1:])
+    faults_only = "--faults" in arguments
+    if faults_only:
+        arguments.remove("--faults")
+    if len(arguments) != 1 or arguments[0] in ("-h", "--help"):
         print(__doc__.strip(), file=sys.stderr)
         return 2
+    path = arguments[0]
     try:
-        records = load_records(argv[1])
+        records = load_records(path)
     except OSError as exc:
-        print(f"cannot read {argv[1]}: {exc}", file=sys.stderr)
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
         return 2
     try:
-        print(render(summarize(records)))
+        if faults_only:
+            for record in filter_faults(records):
+                print(json.dumps(record, sort_keys=True))
+        else:
+            print(render(summarize(records)))
     except BrokenPipeError:  # e.g. piped into head
         return 0
     if not records:
         # Zero-record summary printed above; the status still flags
         # the empty artefact so CI pipelines notice.
-        print(f"no records found in {argv[1]}", file=sys.stderr)
+        print(f"no records found in {path}", file=sys.stderr)
         return 1
     return 0
 
