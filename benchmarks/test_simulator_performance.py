@@ -25,6 +25,19 @@ def internet_uncached():
     return build_internet(InternetConfig(seed=77, trajectory_cache=False))
 
 
+@pytest.fixture(scope="module")
+def internet_compiled():
+    """Same Internet, probing through the compiled batch data plane."""
+    return build_internet(
+        InternetConfig(
+            seed=77,
+            trajectory_cache=False,
+            compiled_plane=True,
+            probe_batch_window=8,
+        )
+    )
+
+
 def test_perf_single_probe_testbed(benchmark):
     testbed = build_gns3("backward-recursive")
     dst = testbed.address("CE2.left")
@@ -73,6 +86,20 @@ def test_perf_full_traceroute_uncached(benchmark, internet_uncached):
     assert result.hops
 
 
+def test_perf_full_traceroute_compiled(benchmark, internet_compiled):
+    """The same trace as the uncached baseline, executed as TTL
+    batches over the compiled plane's per-flow programs."""
+    internet = internet_compiled
+    vp = internet.vps[0]
+    dst = internet.campaign_targets()[0]
+
+    def trace():
+        return internet.prober.traceroute(vp, dst, start_ttl=2)
+
+    result = benchmark(trace)
+    assert result.hops
+
+
 def test_perf_cold_vs_warm_routing(benchmark, internet):
     """Route resolution with a cold cache (the expensive path)."""
     vp = internet.vps[0]
@@ -81,6 +108,36 @@ def test_perf_cold_vs_warm_routing(benchmark, internet):
     def cold_resolve():
         control = ControlPlane(internet.network)
         engine = ForwardingEngine(internet.network, control)
+        return engine.send_probe(vp, dst, ttl=40, flow_id=1)
+
+    outcome = benchmark(cold_resolve)
+    assert outcome.forward_path
+
+
+def test_perf_cold_routing_compiled(benchmark, internet):
+    """Cold-engine probe served from a shared compiled plane.
+
+    Models a fresh engine (new control plane, empty caches) attached
+    to an already-compiled plane — the counterpart of
+    ``test_perf_cold_vs_warm_routing``, which must resolve routes and
+    walk; here the flow's program is a dictionary hit.
+    """
+    from repro.dataplane.compiled import CompiledPlane
+
+    vp = internet.vps[0]
+    dst = internet.campaign_targets()[5]
+    plane = CompiledPlane()
+    warm = ForwardingEngine(
+        internet.network, ControlPlane(internet.network),
+        compiled_plane=plane,
+    )
+    warm.send_probe(vp, dst, ttl=40, flow_id=1)
+
+    def cold_resolve():
+        control = ControlPlane(internet.network)
+        engine = ForwardingEngine(
+            internet.network, control, compiled_plane=plane
+        )
         return engine.send_probe(vp, dst, ttl=40, flow_id=1)
 
     outcome = benchmark(cold_resolve)

@@ -121,6 +121,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject this chaos profile between the measurement "
         "service and the simulator (see 'repro chaos --list')",
     )
+    campaign.add_argument(
+        "--compiled", action="store_true",
+        help="evaluate probes through the compiled batch data plane "
+        "(results are bit-identical to the scalar walk)",
+    )
+    campaign.add_argument(
+        "--batch-window", type=int, default=1, metavar="N",
+        help="traceroute TTL rounds submitted per probe batch "
+        "(1 = serial probing)",
+    )
     store_group = campaign.add_mutually_exclusive_group()
     store_group.add_argument(
         "--checkpoint", metavar="DIR", default=None,
@@ -224,6 +234,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="re-probe unresponsive (*) hops up to N times",
     )
     chaos.add_argument(
+        "--compiled", action="store_true",
+        help="evaluate probes through the compiled batch data plane "
+        "(bit-identical, faults included)",
+    )
+    chaos.add_argument(
+        "--batch-window", type=int, default=1, metavar="N",
+        help="traceroute TTL rounds submitted per probe batch",
+    )
+    chaos.add_argument(
         "--breaker-threshold", type=int, default=3, metavar="N",
         help="consecutive ping losses before a target is parked "
         "until the end of the phase (0 disables the breaker)",
@@ -294,6 +313,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 checkpoint_dir=args.resume or args.checkpoint,
                 resume=args.resume is not None,
                 fault_profile=args.fault_profile,
+                compiled_plane=args.compiled,
+                batch_window=args.batch_window,
             )
         )
     except StoreMismatch as exc:
@@ -435,6 +456,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 fault_profile=args.profile,
                 checkpoint_dir=args.resume or args.checkpoint,
                 resume=args.resume is not None,
+                compiled_plane=args.compiled,
+                batch_window=args.batch_window,
             )
         )
     except StoreMismatch as exc:

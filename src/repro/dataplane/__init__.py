@@ -1,6 +1,14 @@
-"""Dataplane: packets and the per-hop forwarding engine."""
+"""Dataplane: packets, the per-hop engine, and the compiled plane."""
 
+from repro.dataplane.compiled import CompiledPlane, CompiledReply
 from repro.dataplane.engine import EndReason, ForwardingEngine, ProbeOutcome
 from repro.dataplane.packet import Packet
 
-__all__ = ["EndReason", "ForwardingEngine", "Packet", "ProbeOutcome"]
+__all__ = [
+    "CompiledPlane",
+    "CompiledReply",
+    "EndReason",
+    "ForwardingEngine",
+    "Packet",
+    "ProbeOutcome",
+]

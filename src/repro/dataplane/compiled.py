@@ -1,0 +1,277 @@
+"""Compiled batch data plane: dense per-flow programs over batches.
+
+The trajectory cache (:mod:`repro.dataplane.trajectory`) already
+reduces a probe to *locate + synthesize*: one bisection into the
+flow's threshold ladder, then reply construction from the located
+event.  This module compiles that representation one step further so
+whole probe **batches** execute without per-probe Python overhead:
+
+* a :class:`CompiledFlow` flattens a trajectory's events into parallel
+  lookup tables — terminal router, replyability, the IP-TTL symbol
+  ``min(T + shift, clamp)``, accumulated delay — plus the threshold
+  ladder as a dense array;
+* batch *locate* runs as one vectorised ``numpy.searchsorted`` over
+  the whole TTL array when numpy is importable and the batch is large
+  enough to amortise the array round-trip, and as a pure-python
+  ``bisect_left`` loop otherwise (both are exactly ``bisect_left``,
+  so results are bit-identical — the kernel-equivalence test pins
+  this);
+* reply *synthesis* is a per-event template: reply kind, responder,
+  responder router, reply TTL and the reply leg's delay are all
+  TTL-independent, so after the first resolution every later probe of
+  the event is a tuple unpack plus one add for the RTT;
+* synthesized replies are themselves memoised per ``(event, TTL)`` —
+  replies are immutable value objects and, for a fixed program, a
+  probe's reply is a pure function of its TTL, so re-probing a flow
+  (revelation re-traces, campaign phases) reuses the object.  Live
+  router state (ICMP enabled, response rate) is re-checked per probe
+  *before* the memo so failure injection still bites mid-run, and the
+  memo dies with the program on invalidation.
+
+The module deliberately holds **data only** — the evaluation loop
+lives in :meth:`repro.dataplane.engine.ForwardingEngine.
+_evaluate_compiled`, because reply templates are resolved through the
+engine's reply walk and label forcing, whose *ordering* is pinned by
+the golden LDP-allocation tests.  Keeping the dependency one-way
+(engine imports this module, never the reverse) preserves the
+layering the ``flake8-tidy-imports`` ban enforces.
+
+The core stays stdlib-clean: numpy is resolved lazily on the first
+large batch and its absence simply selects the pure-python kernel.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CompiledPlane",
+    "CompiledFlow",
+    "CompiledReply",
+    "SILENT",
+    "NUMPY_BATCH_CUTOFF",
+]
+
+#: Batches at least this large locate through numpy (when available);
+#: smaller ones stay in the bisect loop, which wins under the array
+#: conversion overhead.  Tests monkeypatch :func:`_numpy` (or set the
+#: resolved module to None) to force the pure-python kernel.
+NUMPY_BATCH_CUTOFF = 32
+
+#: Per-event template sentinel: this event never produces a reply
+#: (mirrors the engine's ``_NO_REPLY`` reply-walk memo).
+SILENT = object()
+
+#: Lazily resolved numpy module: ``False`` = not yet attempted,
+#: ``None`` = unavailable (pure-python kernels only).
+_np = False
+
+
+def _numpy():
+    """Resolve numpy once; None when the import fails."""
+    global _np
+    if _np is False:
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - numpy ships in CI
+            numpy = None
+        _np = numpy
+    return _np
+
+
+class CompiledReply:
+    """Reply synthesized by the compiled plane for one batched probe.
+
+    Field-compatible with :class:`~repro.measure.backend.ProbeReply`
+    (and the engine's ``ProbeOutcome``), minus the ground-truth path
+    fields — the reply wire codec never serialises paths, so batch
+    replies stay byte-identical to scalar ones on every artefact.
+    ``quoted_labels`` defaults to a shared empty tuple: replies are
+    treated as immutable downstream (mutating layers copy first).
+    """
+
+    __slots__ = (
+        "probe_ttl", "reply_kind", "responder", "responder_router",
+        "reply_ttl", "quoted_labels", "rtt_ms",
+    )
+
+    def __init__(
+        self,
+        probe_ttl: int,
+        reply_kind: Optional[str] = None,
+        responder: Optional[int] = None,
+        responder_router: Optional[str] = None,
+        reply_ttl: Optional[int] = None,
+        quoted_labels: Sequence[Tuple[int, int]] = (),
+        rtt_ms: float = 0.0,
+    ) -> None:
+        self.probe_ttl = probe_ttl
+        self.reply_kind = reply_kind
+        self.responder = responder
+        self.responder_router = responder_router
+        self.reply_ttl = reply_ttl
+        self.quoted_labels = quoted_labels
+        self.rtt_ms = rtt_ms
+
+    @property
+    def responded(self) -> bool:
+        """True unless the probe timed out."""
+        return self.reply_kind is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledReply(ttl={self.probe_ttl}, "
+            f"kind={self.reply_kind!r}, responder={self.responder})"
+        )
+
+
+class CompiledEvent:
+    """One trajectory event flattened for table-lookup evaluation.
+
+    ``template`` is the lazily resolved reply template: None until the
+    first probe lands here, :data:`SILENT` when the event never
+    replies, else the tuple ``(delivered, kind, src, responder_router,
+    reply_ttl, reply_delay_ms)``.  Resolution goes through the
+    engine's memoised reply walk so label-allocation order matches the
+    scalar path exactly.
+    """
+
+    __slots__ = (
+        "event", "router", "replyable", "quote",
+        "ip_shift", "ip_clamp", "delay_ms", "template",
+        "replies", "ratios",
+    )
+
+    def __init__(self, event, router, replyable, quote) -> None:
+        self.event = event  #: the backing TrajectoryEvent
+        self.router = router  #: terminal router object
+        self.replyable = replyable  #: reason can generate a reply
+        self.quote = quote  #: LSE expiry (RFC 4950 quoting candidate)
+        shift, clamp = event.ip
+        self.ip_shift = shift  #: IP symbol shift (None = constant)
+        self.ip_clamp = clamp  #: IP symbol clamp
+        self.delay_ms = event.delay_ms  #: forward-leg delay
+        self.template = None
+        #: TTL -> memoised synthesized reply (responded probes only;
+        #: liveness checks run before the lookup, so a downed router
+        #: never serves from here).
+        self.replies: Dict[int, CompiledReply] = {}
+        #: TTL -> rate-limit hash ratio (pure function of the TTL;
+        #: compared against the *live* response rate each probe).
+        self.ratios: Dict[int, float] = {}
+
+
+#: ``EndReason`` values that can generate a reply, by enum value —
+#: compared as strings so this module never imports the engine.
+_REPLYABLE_REASONS = frozenset(
+    ("delivered", "ip-expired", "lse-expired")
+)
+_LSE_EXPIRED = "lse-expired"
+
+
+class CompiledFlow:
+    """Dense, batch-evaluable program for one (source, dst, flow, kind).
+
+    Wraps the flow's :class:`~repro.dataplane.trajectory.Trajectory`
+    (kept for binding sites, reply walks, and the ground-truth path)
+    and precomputes everything batch evaluation reads per probe.
+    """
+
+    __slots__ = (
+        "trajectory", "events", "thresholds", "_np_thresholds", "bare",
+        "plans",
+    )
+
+    def __init__(self, trajectory) -> None:
+        self.trajectory = trajectory
+        #: TTL -> shared timeout reply (a ``*`` carries nothing but
+        #: its probe TTL, so one object serves every silent event).
+        self.bare: Dict[int, CompiledReply] = {}
+        #: TTL-window tuple -> ``[plan, signature, replies, walks,
+        #: routers]``: the located event list, then the memoised reply
+        #: vector for the whole window guarded by the liveness
+        #: signature ``tuple((r.icmp_enabled, r.icmp_response_rate))``
+        #: over the plan's replyable ``routers``.  Probing re-visits
+        #: the same windows (revelation re-traces, campaign rounds),
+        #: so on a signature match the window is served as one list;
+        #: any liveness change falls back to the per-probe loop.
+        self.plans: Dict[tuple, list] = {}
+        routers = trajectory.routers
+        self.events: List[CompiledEvent] = [
+            CompiledEvent(
+                event,
+                routers[event.hop_index],
+                event.reason.value in _REPLYABLE_REASONS,
+                event.reason.value == _LSE_EXPIRED,
+            )
+            for event in trajectory.events
+        ]
+        #: Prefix-max threshold ladder (same list ``locate`` bisects).
+        self.thresholds = trajectory.thresholds
+        self._np_thresholds = None
+
+    def locate_batch(self, ttls: Sequence[int]) -> Sequence[int]:
+        """Map each initial TTL to its terminal event index.
+
+        Bit-identical to per-probe ``bisect_left`` whichever kernel
+        runs; the numpy kernel only engages past
+        :data:`NUMPY_BATCH_CUTOFF`, where ``searchsorted`` beats the
+        loop despite the array conversions.
+        """
+        if len(ttls) >= NUMPY_BATCH_CUTOFF:
+            np = _numpy()
+            if np is not None:
+                ladder = self._np_thresholds
+                if ladder is None:
+                    ladder = np.asarray(
+                        self.thresholds, dtype=np.float64
+                    )
+                    self._np_thresholds = ladder
+                return np.searchsorted(
+                    ladder,
+                    np.asarray(ttls, dtype=np.float64),
+                    side="left",
+                ).tolist()
+        thresholds = self.thresholds
+        return [bisect_left(thresholds, ttl) for ttl in ttls]
+
+
+class CompiledPlane:
+    """Registry of compiled flow programs for one converged network.
+
+    Owned (or shared) by forwarding engines; flushed wholesale through
+    the same control-plane invalidation hooks that drop trajectory
+    and response caches, so route flaps and chaos flaps can never
+    leave it serving a stale topology.  The plane itself keeps no
+    metrics registry — each engine accounts ``dataplane.compiled.*``
+    counters into its own observability bundle.
+    """
+
+    __slots__ = ("programs",)
+
+    def __init__(self) -> None:
+        #: (source name, dst, flow_id, kind) -> CompiledFlow
+        self.programs: Dict[tuple, CompiledFlow] = {}
+
+    def install(self, key: tuple, trajectory) -> CompiledFlow:
+        """Compile ``trajectory`` and register it under ``key``."""
+        program = CompiledFlow(trajectory)
+        self.programs[key] = program
+        return program
+
+    def flush(self) -> int:
+        """Drop every program; returns how many were dropped."""
+        dropped = len(self.programs)
+        self.programs.clear()
+        return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Current plane shape (programs and their event count)."""
+        return {
+            "programs": len(self.programs),
+            "events": sum(
+                len(program.events)
+                for program in self.programs.values()
+            ),
+        }

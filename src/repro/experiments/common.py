@@ -61,6 +61,11 @@ class ContextConfig:
     #: Circuit-breaker threshold for the campaign's ping phase
     #: (consecutive losses before a target is parked); None disables.
     breaker_threshold: Optional[int] = None
+    #: Attach the compiled batch data plane to the engine (results
+    #: are bit-identical; probes evaluate through per-flow programs).
+    compiled_plane: bool = False
+    #: Traceroute TTL rounds per batch submission (1 = serial loop).
+    batch_window: int = 1
 
 
 class CampaignContext:
@@ -86,6 +91,8 @@ class CampaignContext:
                 vantage_points=config.vantage_points,
                 stubs_per_transit=config.stubs_per_transit,
                 seed=config.seed,
+                compiled_plane=config.compiled_plane,
+                probe_batch_window=config.batch_window,
             )
         )
         prober, recording = self._build_prober(config)
@@ -149,11 +156,13 @@ class CampaignContext:
         but under ``replay_path`` every probe is answered from the log
         instead of the simulator.
         """
+        window = config.batch_window
         if config.replay_path is not None:
             return (
                 Prober(
                     ReplayBackend(config.replay_path),
                     obs=self.internet.engine.obs,
+                    batch_window=window,
                 ),
                 None,
             )
@@ -170,9 +179,9 @@ class CampaignContext:
                 backend or SimBackend(self.internet.engine),
                 config.record_path,
             )
-            return Prober(recording), recording
+            return Prober(recording, batch_window=window), recording
         if backend is not None:
-            return Prober(backend), None
+            return Prober(backend, batch_window=window), None
         return self.internet.prober, None
 
     def _build_checkpoint(self, config: ContextConfig):
@@ -204,6 +213,16 @@ class CampaignContext:
                 **(
                     {"fault_profile": config.fault_profile}
                     if config.fault_profile is not None
+                    else {}
+                ),
+                # Under faults the batch window shapes the probe
+                # stream (in-flight probes behind a stop still spend
+                # fault-clock positions), so it keys the snapshot;
+                # clean runs are window-invariant and stay unkeyed.
+                **(
+                    {"batch_window": config.batch_window}
+                    if config.fault_profile is not None
+                    and config.batch_window > 1
                     else {}
                 ),
             },

@@ -30,7 +30,7 @@ to running the inner backend bare.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.faults.profile import FaultProfile
 from repro.measure.backend import (
@@ -109,6 +109,44 @@ class FaultyBackend(ProbeBackend):
         if self.profile.inert or reply.reply_kind is None:
             return reply
         return self._apply(position, request, reply)
+
+    def submit_batch(
+        self, requests: Sequence[ProbeRequest]
+    ) -> List[ProbeReply]:
+        """Batch submission with serial-identical fault application.
+
+        Faults are a pure function of each probe's clock position, so
+        the batch is chunked at the positions where flaps are due:
+        within a chunk no flap can fire, the inner backend sees the
+        chunk as one batch, and each reply is faulted at the exact
+        position a serial :meth:`submit` loop would have used.
+        """
+        replies: List[ProbeReply] = []
+        total = len(requests)
+        index = 0
+        while index < total:
+            position = self.clock
+            self._fire_due_flaps(position)
+            chunk_end = total
+            if self._flaps_fired < len(self._flaps):
+                due = self._flaps[self._flaps_fired][0]
+                chunk_end = min(total, index + (due - position))
+            chunk = requests[index:chunk_end]
+            self.clock += len(chunk)
+            raw = self.inner.submit_batch(chunk)
+            if self.profile.inert:
+                replies.extend(raw)
+            else:
+                for offset, (request, reply) in enumerate(
+                    zip(chunk, raw)
+                ):
+                    replies.append(
+                        reply
+                        if reply.reply_kind is None
+                        else self._apply(position + offset, request, reply)
+                    )
+            index = chunk_end
+        return replies
 
     def close(self) -> None:
         self.inner.close()

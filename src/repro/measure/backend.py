@@ -49,20 +49,54 @@ UDP_PROBE = "udp-probe"
 PING_TTL = 64
 
 
-@dataclass(frozen=True)
 class ProbeRequest:
     """One probe to emit, fully described.
 
     ``source`` is the vantage-point router *name* (a string, not a
     simulator object) so requests serialise cleanly into probe logs
     and can address any backend.
+
+    A plain ``__slots__`` value object (compared by value, hashable)
+    rather than a frozen dataclass: windowed tracerouting constructs
+    one request per in-flight TTL, and the frozen ``__init__``'s
+    ``object.__setattr__`` per field costs more than evaluating the
+    probe through a compiled program.  Treated as immutable by every
+    layer, like the replies.
     """
 
-    source: str  #: vantage-point router name
-    dst: int  #: probed address
-    ttl: int  #: initial IP TTL of the probe
-    flow_id: int  #: Paris flow identifier
-    kind: str = ECHO_REQUEST  #: probe kind (echo-request / udp-probe)
+    __slots__ = ("source", "dst", "ttl", "flow_id", "kind")
+
+    def __init__(
+        self,
+        source: str,
+        dst: int,
+        ttl: int,
+        flow_id: int,
+        kind: str = ECHO_REQUEST,
+    ) -> None:
+        self.source = source  #: vantage-point router name
+        self.dst = dst  #: probed address
+        self.ttl = ttl  #: initial IP TTL of the probe
+        self.flow_id = flow_id  #: Paris flow identifier
+        self.kind = kind  #: probe kind (echo-request / udp-probe)
+
+    def _astuple(self) -> tuple:
+        return (self.source, self.dst, self.ttl, self.flow_id, self.kind)
+
+    def __eq__(self, other: object):
+        if isinstance(other, ProbeRequest):
+            return self._astuple() == other._astuple()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbeRequest(source={self.source!r}, dst={self.dst}, "
+            f"ttl={self.ttl}, flow_id={self.flow_id}, "
+            f"kind={self.kind!r})"
+        )
 
 
 @dataclass

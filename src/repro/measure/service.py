@@ -289,26 +289,34 @@ class ProbeService:
     # Batch API
 
     def traceroute_batch(
-        self, requests: Sequence[ProbeRequest]
+        self,
+        requests: Sequence[ProbeRequest],
+        trace_budget: Optional[TraceBudget] = None,
     ) -> List[ProbeReply]:
         """Batch traceroute probes under full policy.
 
         The uncached remainder is budget-checked all-or-nothing, then
         submitted through the backend's batch path; timeouts are
-        retried individually afterwards.
+        retried individually afterwards.  Replies charge
+        ``trace_budget`` exactly as per-probe submissions would.
         """
-        keyer: Callable[[ProbeRequest], Optional[tuple]] = (
-            lambda r: ("probe", r.source, r.dst, r.flow_id, r.ttl)
+        keyer: Optional[Callable[[ProbeRequest], Optional[tuple]]] = (
+            (lambda r: ("probe", r.source, r.dst, r.flow_id, r.ttl))
             if self.policy.cache_mode == "all"
             else None
         )
-        return self._batch(requests, "traceroute", keyer)
+        return self._batch(requests, "traceroute", keyer, trace_budget)
 
     def ping_batch(
         self, requests: Sequence[ProbeRequest]
     ) -> List[ProbeReply]:
         """Batch pings under full policy (cache served first)."""
-        return self._batch(requests, "ping", self._ping_key)
+        keyer = (
+            self._ping_key
+            if self.policy.cache_mode in ("ping", "all")
+            else None
+        )
+        return self._batch(requests, "ping", keyer)
 
     # ------------------------------------------------------------------
     # Cache management
@@ -519,6 +527,36 @@ class ProbeService:
                 flow=request.flow_id, probe=probe,
             )
 
+    def _account_batch(
+        self, requests: Sequence[ProbeRequest], probe: str
+    ) -> None:
+        """Bulk :meth:`_account`: same totals, O(1) counter bumps.
+
+        The caller has already admitted the whole batch via
+        :meth:`_charge_budget`, so per-probe re-checks (which could
+        never trip after an all-or-nothing admission) are skipped.
+        """
+        count = len(requests)
+        if not count:
+            return
+        self.probes_sent += count
+        if self._scopes:
+            for scope in dict.fromkeys(self._scopes):
+                self._scope_spent[scope] = (
+                    self._scope_spent.get(scope, 0) + count
+                )
+        metrics = self.obs.metrics
+        metrics.inc("measure.probes", count)
+        metrics.inc("probe.sent." + probe, count)
+        events = self.obs.events
+        if events.debug:
+            for request in requests:
+                events.emit(
+                    "probe.sent", DEBUG, vp=request.source,
+                    dst=request.dst, ttl=request.ttl,
+                    flow=request.flow_id, probe=probe,
+                )
+
     def _observe_reply(
         self, request: ProbeRequest, reply: ProbeReply
     ) -> ProbeReply:
@@ -669,36 +707,85 @@ class ProbeService:
         self,
         requests: Sequence[ProbeRequest],
         probe: str,
-        keyer: Callable[[ProbeRequest], Optional[tuple]],
+        keyer: Optional[Callable[[ProbeRequest], Optional[tuple]]],
+        trace_budget: Optional[TraceBudget] = None,
     ) -> List[ProbeReply]:
-        """Shared batch path: cache, budget, batch-submit, retry."""
+        """Shared batch path: cache, budget, batch-submit, retry.
+
+        ``keyer`` is None when response caching cannot apply — the
+        whole batch is then pending without a per-request key call.
+        """
+        policy = self.policy
+        # With no probe deadline, no sanitizer, and no debug sink, the
+        # per-reply observation reduces to one counter bump per kind.
+        per_reply = (
+            policy.probe_deadline_ms is not None
+            or policy.sanitize
+            or self.obs.events.debug
+        )
+        retries = policy.max_retries
+        if (
+            keyer is None
+            and trace_budget is None
+            and not per_reply
+            and not retries
+        ):
+            # Nothing per-reply to do: admit, account, submit, count.
+            if type(requests) is not list:
+                requests = list(requests)
+            self._charge_budget(len(requests))
+            self._account_batch(requests, probe)
+            # Backends return a fresh list per call — no defensive copy.
+            raw = self.backend.submit_batch(requests)
+            kind_counts: Dict[str, int] = {}
+            for reply in raw:
+                kind = reply.reply_kind or "none"
+                kind_counts[kind] = kind_counts.get(kind, 0) + 1
+            inc = self.obs.metrics.inc
+            for kind, total in kind_counts.items():
+                inc("probe.reply." + kind, total)
+            return raw
         requests = list(requests)
         replies: List[Optional[ProbeReply]] = [None] * len(requests)
         pending: List[Tuple[int, Optional[tuple]]] = []
-        for index, request in enumerate(requests):
-            key = keyer(request)
-            if key is not None:
-                cached = self._cache.get(key)
-                if cached is not None:
-                    replies[index] = self._serve_cached(
-                        request, cached, None
-                    )
-                    continue
-            pending.append((index, key))
+        if keyer is None:
+            pending = [(index, None) for index in range(len(requests))]
+        else:
+            for index, request in enumerate(requests):
+                key = keyer(request)
+                if key is not None:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        replies[index] = self._serve_cached(
+                            request, cached, trace_budget
+                        )
+                        continue
+                pending.append((index, key))
         # All-or-nothing admission: refuse the whole remainder rather
         # than submit a prefix the budget cannot cover.
         self._charge_budget(len(pending))
-        for index, _ in pending:
-            self._account(requests[index], probe)
-        raw = self.backend.submit_batch(
-            [requests[index] for index, _ in pending]
-        )
+        submitted = [requests[index] for index, _ in pending]
+        self._account_batch(submitted, probe)
+        raw = self.backend.submit_batch(submitted)
+        kind_counts = {}
         for (index, key), reply in zip(pending, raw):
             request = requests[index]
-            reply = self._retry_timeouts(
-                request, self._observe_reply(request, reply), probe
-            )
+            if per_reply:
+                reply = self._observe_reply(request, reply)
+            else:
+                kind = reply.reply_kind or "none"
+                kind_counts[kind] = kind_counts.get(kind, 0) + 1
+            if reply.reply_kind is None and retries:
+                reply = self._retry_timeouts(
+                    request, reply, probe, trace_budget
+                )
             if key is not None:
                 self._cache[key] = reply
+            if trace_budget is not None:
+                self._charge_trace(trace_budget, reply)
             replies[index] = reply
+        if kind_counts:
+            inc = self.obs.metrics.inc
+            for kind, total in kind_counts.items():
+                inc("probe.reply." + kind, total)
         return replies

@@ -47,6 +47,18 @@ ProbeReply`, returned as-is to avoid a per-probe copy)."""
             kind=request.kind,
         )
 
+    def submit_batch(self, requests):
+        """Simulate a whole batch through the engine's batch path.
+
+        With a compiled plane attached the engine evaluates the batch
+        through dense per-flow programs; without one it degrades to
+        the scalar loop — either way replies come back in request
+        order, bit-identical to serial :meth:`submit` calls.  The
+        engine consumes the requests directly (duck-typed on the wire
+        fields), so the adapter adds no per-probe conversion.
+        """
+        return self.engine.send_probe_batch(requests)
+
     # ------------------------------------------------------------------
     # Trajectory-cache hooks (parallel campaign prewarm)
 

@@ -31,7 +31,7 @@ from repro.measure import (
 from repro.measure.service import MeasurementPolicy, ProbeService
 from repro.net.addressing import format_address
 from repro.net.router import Router
-from repro.obs import DEBUG, Obs
+from repro.obs import DEBUG, NULL_SPAN, Obs
 
 __all__ = [
     "TraceHop", "Trace", "PingResult", "UdpProbeResult", "Prober",
@@ -177,6 +177,7 @@ class Prober:
         gap_limit: int = 3,
         policy: Optional[MeasurementPolicy] = None,
         obs: Optional[Obs] = None,
+        batch_window: int = 1,
     ) -> None:
         #: The measurement service every probe goes through; accepts a
         #: ready service, any probe backend, or a bare engine.
@@ -187,9 +188,24 @@ class Prober:
         #: Stop after this many consecutive unresponsive hops
         #: (scamper's gap limit).
         self.gap_limit = gap_limit
+        #: Traceroute TTL rounds submitted per batch.  1 keeps the
+        #: probe-per-probe loop; >1 submits TTL windows through the
+        #: backend's batch path (extra probes past the destination or
+        #: gap stop still spend budget and fault-clock positions, just
+        #: like a real windowed prober keeps packets in flight).
+        self.batch_window = max(1, int(batch_window))
         #: Shares the service's observability bundle, so probe counters
         #: land in the same registry as the backend's own counters.
         self.obs = self.service.obs
+        #: (source name, dst) -> derived Paris flow id.  ``_flow_for``
+        #: is a pure function, so re-traces of the same pair skip the
+        #: hash.
+        self._flows: dict = {}
+        #: (source name, dst, flow, first ttl, last ttl) -> request
+        #: window.  Requests are immutable value objects every layer
+        #: only reads, so re-probed windows (revelation re-traces,
+        #: campaign rounds) reuse the same list.
+        self._windows: dict = {}
 
     @property
     def backend(self):
@@ -235,7 +251,12 @@ class Prober:
         derived from ``(source, dst)`` unless ``flow_id`` pins one.
         """
         if flow_id is None:
-            flow_id = self._flow_for(source, dst)
+            flow_key = (source.name, dst)
+            flow_id = self._flows.get(flow_key)
+            if flow_id is None:
+                flow_id = self._flows[flow_key] = self._flow_for(
+                    source, dst
+                )
         trace = Trace(
             source=source.name,
             source_address=source.loopback,
@@ -247,15 +268,97 @@ class Prober:
         gap = 0
         limit = max_ttl if max_ttl is not None else self.max_ttl
         deadline = self.service.begin_trace()
-        with self.obs.tracer.span(
-            "probe.traceroute", vp=source.name, dst=dst, flow=flow_id
-        ):
-            for ttl in range(start_ttl, limit + 1):
-                outcome = self.service.traceroute_probe(
-                    source.name, dst, ttl=ttl, flow_id=flow_id,
-                    trace_budget=deadline,
+        tracer = self.obs.tracer
+        # The span itself already no-ops below INFO, but building its
+        # kwargs costs more than the whole hot path per trace — skip
+        # the call entirely when the level rules it out.
+        span = (
+            tracer.span(
+                "probe.traceroute", vp=source.name, dst=dst,
+                flow=flow_id,
+            )
+            if events.info
+            else NULL_SPAN
+        )
+        with span:
+            if self.batch_window > 1:
+                self._traceroute_windowed(
+                    source, trace, start_ttl, limit, deadline
                 )
-                hop = self._hop_from(outcome)
+            else:
+                for ttl in range(start_ttl, limit + 1):
+                    outcome = self.service.traceroute_probe(
+                        source.name, dst, ttl=ttl, flow_id=flow_id,
+                        trace_budget=deadline,
+                    )
+                    hop = self._hop_from(outcome)
+                    trace.hops.append(hop)
+                    if hop.responded:
+                        gap = 0
+                        if (
+                            hop.reply_kind == ECHO_REPLY
+                            and hop.address == dst
+                        ):
+                            trace.destination_reached = True
+                            # The destination's echo-reply doubles as
+                            # a ping observation — seed the service's
+                            # ping cache so the fingerprinting phase
+                            # can skip the wire for this
+                            # (vp, dst, flow).
+                            self.service.seed_ping(
+                                source.name, dst, flow_id, outcome
+                            )
+                            break
+                    else:
+                        gap += 1
+                        if gap >= self.gap_limit:
+                            metrics.inc("probe.gap_aborts")
+                            if events.debug:
+                                events.emit(
+                                    "probe.gap", DEBUG, vp=source.name,
+                                    dst=dst, ttl=ttl,
+                                )
+                            break
+                    if deadline is not None and deadline.expired:
+                        break
+        metrics.observe("trace.hops", len(trace.hops), _HOP_BUCKETS)
+        return trace
+
+    def _traceroute_windowed(
+        self, source: Router, trace: Trace, start_ttl: int, limit: int,
+        deadline,
+    ) -> None:
+        """TTL-windowed traceroute rounds through the batch path.
+
+        Each round submits :attr:`batch_window` consecutive TTLs as
+        one batch; replies are then folded into the trace in TTL
+        order with the same stop rules as the serial loop.  The trace
+        (hops, destination flag) comes out identical to serial
+        probing — the only behavioural difference is that probes
+        already in flight behind a stop still happened, which is
+        exactly what a windowed scamper does.
+        """
+        metrics = self.obs.metrics
+        events = self.obs.events
+        dst = trace.dst
+        flow_id = trace.flow_id
+        gap = 0
+        ttl = start_ttl
+        windows = self._windows
+        while ttl <= limit:
+            stop = min(ttl + self.batch_window - 1, limit)
+            window_key = (source.name, dst, flow_id, ttl, stop)
+            requests = windows.get(window_key)
+            if requests is None:
+                requests = windows[window_key] = [
+                    ProbeRequest(source.name, dst, t, flow_id)
+                    for t in range(ttl, stop + 1)
+                ]
+            replies = self.service.traceroute_batch(
+                requests, trace_budget=deadline
+            )
+            for reply in replies:
+                hop = self._hop_from(reply)
                 trace.hops.append(hop)
                 if hop.responded:
                     gap = 0
@@ -264,14 +367,10 @@ class Prober:
                         and hop.address == dst
                     ):
                         trace.destination_reached = True
-                        # The destination's echo-reply doubles as a
-                        # ping observation — seed the service's ping
-                        # cache so the fingerprinting phase can skip
-                        # the wire for this (vp, dst, flow).
                         self.service.seed_ping(
-                            source.name, dst, flow_id, outcome
+                            source.name, dst, flow_id, reply
                         )
-                        break
+                        return
                 else:
                     gap += 1
                     if gap >= self.gap_limit:
@@ -279,13 +378,12 @@ class Prober:
                         if events.debug:
                             events.emit(
                                 "probe.gap", DEBUG, vp=source.name,
-                                dst=dst, ttl=ttl,
+                                dst=dst, ttl=hop.probe_ttl,
                             )
-                        break
+                        return
                 if deadline is not None and deadline.expired:
-                    break
-        metrics.observe("trace.hops", len(trace.hops), _HOP_BUCKETS)
-        return trace
+                    return
+            ttl = stop + 1
 
     def udp_probe(
         self, source: Router, dst: int, flow_id: Optional[int] = None

@@ -29,21 +29,29 @@ class BgpRouting:
 
     def __init__(self, network: Network) -> None:
         self.network = network
-        self._adjacency: Dict[int, Set[int]] = {}
+        # Derived lazily on first use: a control plane is cheap to
+        # construct, so a fresh engine attached to an already-compiled
+        # data plane never pays for the AS graph it will not consult.
+        self._adjacency: Optional[Dict[int, Set[int]]] = None
         # next_as cache: dst_asn -> {asn -> chosen next asn}
         self._next_as_cache: Dict[int, Dict[int, int]] = {}
         # (asn, dst_asn) -> forced next asn
         self._overrides: Dict[Tuple[int, int], int] = {}
-        self._rebuild_adjacency()
 
-    def _rebuild_adjacency(self) -> None:
-        self._adjacency.clear()
-        for link in self.network.inter_as_links():
-            a, b = link.routers
-            self._adjacency.setdefault(a.asn, set()).add(b.asn)
-            self._adjacency.setdefault(b.asn, set()).add(a.asn)
-        for asn in self.network.asns():
-            self._adjacency.setdefault(asn, set())
+    @property
+    def adjacency(self) -> Dict[int, Set[int]]:
+        """The AS adjacency graph, derived from inter-AS links."""
+        adjacency = self._adjacency
+        if adjacency is None:
+            adjacency = {}
+            for link in self.network.inter_as_links():
+                a, b = link.routers
+                adjacency.setdefault(a.asn, set()).add(b.asn)
+                adjacency.setdefault(b.asn, set()).add(a.asn)
+            for asn in self.network.asns():
+                adjacency.setdefault(asn, set())
+            self._adjacency = adjacency
+        return adjacency
 
     # ------------------------------------------------------------------
     # Configuration
@@ -54,7 +62,7 @@ class BgpRouting:
         ``next_asn`` must be an actual neighbor of ``asn``.  Used by
         scenario builders to inject policy-driven asymmetry.
         """
-        if next_asn not in self._adjacency.get(asn, ()):
+        if next_asn not in self.adjacency.get(asn, ()):
             raise ValueError(
                 f"AS{next_asn} is not a neighbor of AS{asn}"
             )
@@ -72,12 +80,13 @@ class BgpRouting:
         neighbor ASN wins (deterministic tie-break standing in for
         BGP's lower-router-id rules).
         """
+        adjacency = self.adjacency
         depth: Dict[int, int] = {dst_asn: 0}
         next_as: Dict[int, int] = {}
         frontier = deque([dst_asn])
         while frontier:
             current = frontier.popleft()
-            for neighbor in sorted(self._adjacency.get(current, ())):
+            for neighbor in sorted(adjacency.get(current, ())):
                 candidate_depth = depth[current] + 1
                 if neighbor not in depth:
                     depth[neighbor] = candidate_depth
@@ -121,15 +130,15 @@ class BgpRouting:
             path.append(nxt)
             current = nxt
             guard += 1
-            if guard > len(self._adjacency) + 1:
+            if guard > len(self.adjacency) + 1:
                 raise RuntimeError("AS path did not converge (loop?)")
         return path
 
     def neighbors(self, asn: int) -> Set[int]:
         """Neighbor ASes of ``asn``."""
-        return set(self._adjacency.get(asn, ()))
+        return set(self.adjacency.get(asn, ()))
 
     def invalidate(self) -> None:
-        """Re-derive adjacency and drop cached trees (after edits)."""
-        self._rebuild_adjacency()
+        """Drop derived adjacency and cached trees (after edits)."""
+        self._adjacency = None
         self._next_as_cache.clear()

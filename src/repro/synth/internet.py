@@ -65,6 +65,13 @@ class InternetConfig:
     #: Memoise forwarding trajectories in the engine (False forces the
     #: original walk-per-probe dataplane; results are identical).
     trajectory_cache: bool = True
+    #: Attach a compiled batch data plane to the engine (per-flow
+    #: programs evaluated over whole probe batches; results are
+    #: bit-identical to the scalar paths).
+    compiled_plane: bool = False
+    #: Traceroute TTL rounds the prober submits per batch (1 = the
+    #: serial probe-per-probe loop).
+    probe_batch_window: int = 1
 
 
 class SyntheticInternet:
@@ -78,8 +85,12 @@ class SyntheticInternet:
             self.network,
             self.control,
             trajectory_cache=config.trajectory_cache,
+            compiled=config.compiled_plane,
         )
-        self.prober = Prober(SimBackend(self.engine))
+        self.prober = Prober(
+            SimBackend(self.engine),
+            batch_window=config.probe_batch_window,
+        )
         self.profiles: Dict[int, TransitProfile] = {
             profile.asn: profile for profile in config.profiles
         }

@@ -1,0 +1,341 @@
+"""Compiled batch data plane: bit-identity and invalidation tests.
+
+The contract under test (ISSUE: compiled batch data plane): batch
+evaluation through per-flow compiled programs is *bit-identical* to
+the scalar walk — on recorded probe logs, under zero-fault and
+hostile fault profiles, across mid-campaign flaps, and across
+checkpoint→resume — while the ``dataplane.compiled.*`` counters
+account builds, batches and invalidations.  The numpy and
+pure-python locate kernels must agree exactly, and liveness (ICMP
+flags flipped without any invalidation firing) must bypass every
+reply memo.
+"""
+
+import pytest
+
+from repro.dataplane.compiled import (
+    NUMPY_BATCH_CUTOFF,
+    CompiledPlane,
+)
+from repro.dataplane import compiled as compiled_module
+from repro.experiments.common import CampaignContext, ContextConfig
+from repro.faults import FaultyBackend, fault_profile
+from repro.measure import RecordingBackend, SimBackend
+from repro.measure.backend import ProbeRequest
+from repro.obs import measurement_counters
+from repro.probing.prober import Prober
+from repro.store import RESUME_EXEMPT_COUNTERS
+from repro.synth.internet import InternetConfig, build_internet
+from repro.synth.profiles import paper_profiles
+
+
+def small_internet(seed=11, compiled=False, window=1):
+    return build_internet(
+        InternetConfig(
+            profiles=tuple(paper_profiles(0.4)),
+            vantage_points=3,
+            stubs_per_transit=2,
+            seed=seed,
+            compiled_plane=compiled,
+            probe_batch_window=window,
+        )
+    )
+
+
+def trace_signature(trace):
+    """Everything a trace observes, as one comparable tuple."""
+    return (
+        trace.destination_reached,
+        tuple(
+            (
+                hop.probe_ttl, hop.reply_kind, hop.address,
+                hop.reply_ttl, tuple(hop.quoted_labels), hop.rtt_ms,
+            )
+            for hop in trace.hops
+        ),
+    )
+
+
+def all_traces(internet, count=10, rounds=2):
+    """Traces from every VP, re-traced so memo hits are exercised."""
+    signatures = []
+    targets = internet.campaign_targets()[:count]
+    for _ in range(rounds):
+        for vp in internet.vps:
+            for dst in targets:
+                signatures.append(
+                    trace_signature(internet.prober.traceroute(vp, dst))
+                )
+    return signatures
+
+
+class TestTraceIdentity:
+    def test_scalar_vs_compiled_vs_windowed(self):
+        scalar = all_traces(small_internet())
+        compiled = all_traces(small_internet(compiled=True))
+        windowed = all_traces(small_internet(compiled=True, window=8))
+        assert scalar == compiled == windowed
+
+    def test_uncached_engine_matches_compiled(self):
+        walked = build_internet(
+            InternetConfig(
+                profiles=tuple(paper_profiles(0.4)),
+                vantage_points=3,
+                stubs_per_transit=2,
+                seed=11,
+                trajectory_cache=False,
+            )
+        )
+        assert all_traces(walked) == all_traces(
+            small_internet(compiled=True, window=8)
+        )
+
+
+def _record_log(tmp_path, name, compiled, window, profile=None):
+    """Record probing to a JSONL log; returns its bytes."""
+    internet = small_internet(compiled=compiled, window=window)
+    backend = SimBackend(internet.engine)
+    if profile is not None:
+        backend = FaultyBackend(backend, fault_profile(profile))
+    path = str(tmp_path / name)
+    recording = RecordingBackend(backend, path)
+    prober = Prober(
+        recording, obs=internet.engine.obs, batch_window=window
+    )
+    vp = internet.vps[0]
+    for dst in internet.campaign_targets()[:6]:
+        prober.traceroute(vp, dst)
+        prober.ping(vp, dst)
+    recording.close()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestRecordedLogIdentity:
+    @pytest.mark.parametrize("window", [1, 8])
+    def test_zero_fault_logs_byte_identical(self, tmp_path, window):
+        scalar = _record_log(
+            tmp_path, "scalar.jsonl", compiled=False, window=window
+        )
+        compiled = _record_log(
+            tmp_path, "compiled.jsonl", compiled=True, window=window
+        )
+        assert scalar == compiled
+
+    @pytest.mark.parametrize("profile", ["hostile", "flap"])
+    def test_faulty_logs_byte_identical(self, tmp_path, profile):
+        # Same batch window on both sides: the probe stream drives the
+        # fault clock, so only the compiled plane may differ.
+        scalar = _record_log(
+            tmp_path, "scalar.jsonl", compiled=False, window=8,
+            profile=profile,
+        )
+        compiled = _record_log(
+            tmp_path, "compiled.jsonl", compiled=True, window=8,
+            profile=profile,
+        )
+        assert scalar == compiled
+
+
+class TestFlapsAndLiveness:
+    def test_flap_invalidates_compiled_plane(self):
+        internet = small_internet(compiled=True, window=8)
+        backend = FaultyBackend(
+            SimBackend(internet.engine), fault_profile("flap")
+        )
+        prober = Prober(
+            backend, obs=internet.engine.obs, batch_window=8
+        )
+        # Enough probes to walk past the profile's flap positions.
+        for vp in internet.vps:
+            for dst in internet.campaign_targets()[:10]:
+                prober.traceroute(vp, dst)
+        metrics = internet.engine.obs.metrics
+        assert metrics.get("faults.flaps.route-change") >= 1
+        assert metrics.get("dataplane.compiled.invalidations") >= 1
+        # Rebuilt after the flush: programs exist again post-flap.
+        assert internet.engine.compiled_plane.stats()["programs"] > 0
+
+    def test_router_down_bypasses_window_memo(self):
+        """ICMP flags flip WITHOUT invalidation; memos must not serve
+        stale replies."""
+        internet = small_internet(compiled=True, window=8)
+        engine = internet.engine
+        vp = internet.vps[0]
+        dst = internet.campaign_targets()[0]
+        requests = [
+            ProbeRequest(vp.name, dst, ttl, 7) for ttl in range(2, 10)
+        ]
+        before = engine.send_probe_batch(requests)
+        responders = [
+            reply.responder_router
+            for reply in before
+            if reply.responder_router is not None
+        ]
+        assert responders
+        victim = internet.network.router(responders[0])
+        victim.icmp_enabled = False
+        try:
+            during = engine.send_probe_batch(requests)
+        finally:
+            victim.icmp_enabled = True
+        after = engine.send_probe_batch(requests)
+        assert any(
+            d.responded != b.responded
+            for b, d in zip(before, during)
+        )
+        assert [r.responder_router for r in during] != responders
+        assert [
+            (r.probe_ttl, r.reply_kind, r.responder, r.rtt_ms)
+            for r in after
+        ] == [
+            (r.probe_ttl, r.reply_kind, r.responder, r.rtt_ms)
+            for r in before
+        ]
+
+    def test_response_rate_change_bypasses_reply_memo(self):
+        internet = small_internet(compiled=True, window=8)
+        engine = internet.engine
+        vp = internet.vps[0]
+        dst = internet.campaign_targets()[0]
+        requests = [
+            ProbeRequest(vp.name, dst, ttl, 7) for ttl in range(2, 10)
+        ]
+        before = engine.send_probe_batch(requests)
+        responders = {
+            reply.responder_router
+            for reply in before
+            if reply.responder_router is not None
+        }
+        for name in responders:
+            internet.network.router(name).icmp_response_rate = 0.0
+        try:
+            during = engine.send_probe_batch(requests)
+        finally:
+            for name in responders:
+                internet.network.router(name).icmp_response_rate = 1.0
+        assert not any(
+            reply.responder_router in responders for reply in during
+        )
+
+
+class TestKernelEquivalence:
+    def test_pure_python_matches_numpy(self, monkeypatch):
+        internet = small_internet(compiled=True)
+        engine = internet.engine
+        vp = internet.vps[0]
+        dst = internet.campaign_targets()[0]
+        size = NUMPY_BATCH_CUTOFF + 8  # forces the vector kernel
+        requests = [
+            ProbeRequest(vp.name, dst, 1 + (i % 40), 7)
+            for i in range(size)
+        ]
+        with_numpy = engine.send_probe_batch(requests)
+        pytest.importorskip("numpy")  # the run above used it
+        engine.compiled_plane.flush()
+        monkeypatch.setattr(compiled_module, "_np", None)
+        pure = engine.send_probe_batch(requests)
+        assert [
+            (r.probe_ttl, r.reply_kind, r.responder, r.reply_ttl,
+             tuple(r.quoted_labels), r.rtt_ms)
+            for r in with_numpy
+        ] == [
+            (r.probe_ttl, r.reply_kind, r.responder, r.reply_ttl,
+             tuple(r.quoted_labels), r.rtt_ms)
+            for r in pure
+        ]
+
+
+class TestMetrics:
+    def test_compiled_counters_populated(self):
+        internet = small_internet(compiled=True, window=8)
+        vp = internet.vps[0]
+        for dst in internet.campaign_targets()[:6]:
+            internet.prober.traceroute(vp, dst)
+        metrics = internet.engine.obs.metrics
+        assert metrics.get("dataplane.compiled.builds") > 0
+        assert metrics.get("dataplane.compiled.batches") > 0
+        assert metrics.get("dataplane.compiled.fallback_to_scalar") == 0
+        sizes = metrics.histograms.get("dataplane.compiled.batch_size")
+        assert sizes is not None and sizes.count > 0
+
+    def test_fallback_counter_without_plane(self):
+        internet = small_internet(compiled=False, window=8)
+        vp = internet.vps[0]
+        internet.prober.traceroute(vp, internet.campaign_targets()[0])
+        metrics = internet.engine.obs.metrics
+        assert metrics.get("dataplane.compiled.fallback_to_scalar") > 0
+        assert metrics.get("dataplane.compiled.batches") == 0
+
+    def test_plane_stats_shape(self):
+        plane = CompiledPlane()
+        assert plane.stats() == {"programs": 0, "events": 0}
+
+
+BASE = dict(
+    scale=0.4,
+    seed=11,
+    vantage_points=3,
+    stubs_per_transit=2,
+)
+
+RESULT_FIELDS = (
+    "traces", "pings", "pairs", "revelations",
+    "probes_sent", "revelation_probes",
+)
+
+
+def _assert_results_equal(left, right):
+    for name in RESULT_FIELDS:
+        assert getattr(left, name) == getattr(right, name), name
+
+
+def _counters(context):
+    counters = dict(
+        measurement_counters(
+            context.campaign.obs.metrics.counters_snapshot()
+        )
+    )
+    for name in RESUME_EXEMPT_COUNTERS:
+        counters.pop(name, None)
+    return counters
+
+
+class TestCampaignIdentity:
+    def test_campaign_equal_with_and_without_compiled(self):
+        # Same batch window on both sides: windowed probing keeps
+        # extra probes in flight behind a stop (they spend budget), so
+        # only the compiled plane may differ between the two runs.
+        scalar = CampaignContext(
+            ContextConfig(batch_window=8, **BASE)
+        )
+        compiled = CampaignContext(
+            ContextConfig(compiled_plane=True, batch_window=8, **BASE)
+        )
+        _assert_results_equal(compiled.result, scalar.result)
+        assert _counters(compiled) == _counters(scalar)
+
+    def test_hostile_resume_bit_identical(self, tmp_path):
+        baseline = CampaignContext(
+            ContextConfig(
+                fault_profile="hostile", compiled_plane=True,
+                batch_window=8, **BASE,
+            )
+        )
+        warehouse = str(tmp_path / "warehouse")
+        CampaignContext(
+            ContextConfig(
+                fault_profile="hostile", compiled_plane=True,
+                batch_window=8, probe_budget=400,
+                checkpoint_dir=warehouse, **BASE,
+            )
+        )
+        resumed = CampaignContext(
+            ContextConfig(
+                fault_profile="hostile", compiled_plane=True,
+                batch_window=8, checkpoint_dir=warehouse,
+                resume=True, **BASE,
+            )
+        )
+        assert not resumed.result.partial
+        _assert_results_equal(resumed.result, baseline.result)

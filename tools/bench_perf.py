@@ -53,7 +53,16 @@ def run_benches() -> dict:
 
 
 def cache_stats() -> dict:
-    """Trajectory-cache counters from a warm campaign replay."""
+    """Trajectory-cache counters from a warm campaign replay.
+
+    Runs with two prewarm workers so the snapshot reflects the
+    parallel configuration, and merges the worker-side counters
+    (re-exported under ``prewarm.engine.*`` in the parent registry)
+    into the totals — the engine's own counters only see the parent
+    process, so without the merge a multi-worker run reports an
+    inflated hit rate (the workers' cold misses happen off-process
+    while their trajectories replay in the parent as pure hits).
+    """
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.campaign.orchestrator import Campaign, CampaignConfig
     from repro.synth.internet import InternetConfig, build_internet
@@ -63,11 +72,23 @@ def cache_stats() -> dict:
         internet.prober,
         internet.vps,
         internet.asn_of_address,
-        CampaignConfig(),
+        CampaignConfig(workers=2),
     )
     campaign.run(internet.campaign_targets())
     stats = internet.engine.cache_stats()
-    stats["hit_rate"] = round(stats["hit_rate"], 4)
+    metrics = internet.prober.obs.metrics
+    prewarm_hits = metrics.get("prewarm.engine.trajectory_hits")
+    prewarm_misses = metrics.get("prewarm.engine.trajectory_misses")
+    hits = stats["trajectory_hits"] + prewarm_hits
+    misses = stats["trajectory_misses"] + prewarm_misses
+    total = hits + misses
+    stats.update(
+        trajectory_hits=hits,
+        trajectory_misses=misses,
+        hit_rate=round(hits / total, 4) if total else 0.0,
+        prewarm_worker_hits=prewarm_hits,
+        prewarm_worker_misses=prewarm_misses,
+    )
     return stats
 
 
@@ -148,12 +169,28 @@ def main() -> int:
         "campaign_cache": cache_stats(),
         "campaign_resume": resume_stats(),
     }
-    cached = snapshot["benches"].get("test_perf_full_traceroute")
-    uncached = snapshot["benches"].get("test_perf_full_traceroute_uncached")
+    benches = snapshot["benches"]
+    cached = benches.get("test_perf_full_traceroute")
+    uncached = benches.get("test_perf_full_traceroute_uncached")
     if cached and uncached and cached["mean_us"]:
         snapshot["traceroute_speedup"] = round(
             uncached["mean_us"] / cached["mean_us"], 2
         )
+    compiled_speedup = {}
+    for name, base_name, compiled_name in (
+        ("traceroute", "test_perf_full_traceroute_uncached",
+         "test_perf_full_traceroute_compiled"),
+        ("cold_routing", "test_perf_cold_vs_warm_routing",
+         "test_perf_cold_routing_compiled"),
+    ):
+        base = benches.get(base_name)
+        compiled = benches.get(compiled_name)
+        if base and compiled and compiled["mean_us"]:
+            compiled_speedup[name] = round(
+                base["mean_us"] / compiled["mean_us"], 2
+            )
+    if compiled_speedup:
+        snapshot["compiled_speedup"] = compiled_speedup
     output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {output}")
     return 0

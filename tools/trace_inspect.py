@@ -168,6 +168,18 @@ def render(summary: dict) -> str:
     )
     lines.append("")
 
+    compiled = {
+        name: value
+        for name, value in summary["counters"].items()
+        if name.startswith("dataplane.compiled.")
+    }
+    if any(compiled.values()):
+        lines.append("## Compiled data plane")
+        for name, value in sorted(compiled.items()):
+            label = name[len("dataplane.compiled."):]
+            lines.append(f"  {label:<22s} {value:>8d}")
+        lines.append("")
+
     lines.append("## Revelation outcomes")
     methods = summary["revelation_methods"]
     if methods:
