@@ -150,3 +150,47 @@ def test_perf_internet_build(benchmark):
 
     internet = benchmark(build)
     assert len(internet.network.routers) > 100
+
+
+def test_perf_serve_throughput(benchmark):
+    """Eight tenant campaigns multiplexed over two shared snapshots.
+
+    Measures the whole serve path — registry attach, fair-scheduler
+    turnstile, session threads — end to end; the guarded number is
+    the wall-clock for the fleet, so regressions in any serve layer
+    (or in snapshot sharing) surface here.
+    """
+    from repro.serve import (
+        ServeClient,
+        SnapshotRegistry,
+        TenantSpec,
+        TopologySpec,
+    )
+
+    def fleet():
+        client = ServeClient(
+            registry=SnapshotRegistry(), max_active=4
+        )
+        try:
+            handles = [
+                client.submit(
+                    TenantSpec(
+                        tenant=f"bench-{index}",
+                        topology=TopologySpec(
+                            scale=0.3,
+                            seed=11 + index % 2,
+                            vantage_points=3,
+                            stubs_per_transit=2,
+                        ),
+                        max_targets=4,
+                    )
+                )
+                for index in range(8)
+            ]
+            return [handle.wait(timeout=600) for handle in handles]
+        finally:
+            client.close()
+
+    results = benchmark.pedantic(fleet, rounds=3, iterations=1)
+    assert len(results) == 8
+    assert all(result.traces for result in results)

@@ -14,6 +14,9 @@
 * ``repro chaos`` — the campaign measured through an injected fault
   profile (loss, latency, rate limiting, blackouts, flaps, malformed
   replies), reporting quarantine counts and the data-quality grade;
+* ``repro serve`` — many tenant campaigns multiplexed over shared
+  rendered snapshots by the async campaign server (fair scheduling,
+  per-tenant budgets and chaos, combined JSONL event stream);
 * ``repro list`` — available experiment identifiers.
 
 ``repro campaign --checkpoint DIR`` persists every completed probe
@@ -266,6 +269,58 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the run summary (data_quality included) as JSON",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="multiplex tenant campaigns over shared rendered "
+        "snapshots",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=8, metavar="N",
+        help="tenant campaigns to submit",
+    )
+    serve.add_argument(
+        "--snapshots", type=int, default=2, metavar="M",
+        help="distinct topology seeds the tenants are spread over "
+        "(each is rendered once and shared)",
+    )
+    serve.add_argument("--scale", type=float, default=0.3)
+    serve.add_argument("--seed", type=int, default=2017)
+    serve.add_argument("--vantage-points", type=int, default=3)
+    serve.add_argument("--stubs-per-transit", type=int, default=2)
+    serve.add_argument(
+        "--max-active", type=int, default=4,
+        help="sessions running concurrently (each holds one worker "
+        "thread; the rest queue)",
+    )
+    serve.add_argument(
+        "--weights", default=None, metavar="W1,W2,...",
+        help="comma-separated fair-scheduler weights cycled over the "
+        "tenants (default: equal)",
+    )
+    serve.add_argument(
+        "--probe-budget", type=int, default=None, metavar="N",
+        help="per-tenant probe budget (clean partial result when hit)",
+    )
+    serve.add_argument(
+        "--fault-profile", metavar="NAME", default=None,
+        help="chaos profile injected per tenant; network-mutating "
+        "profiles are refused on shared snapshots (see 'repro chaos "
+        "--list')",
+    )
+    serve.add_argument(
+        "--max-targets", type=int, default=None, metavar="N",
+        help="truncate each tenant's target list to N targets",
+    )
+    serve.add_argument(
+        "--events-out", metavar="PATH", default=None,
+        help="write the combined tenant-tagged event stream as JSONL",
+    )
+    serve.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the server summary (registry reuse, per-tenant "
+        "grants) as JSON",
+    )
+
     sub.add_parser("list", help="list experiment identifiers")
     return parser
 
@@ -357,9 +412,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"probes replayed from {args.replay}")
     if args.stats:
         from repro.campaign.report import render_perf_section
+        from repro.serve.registry import default_registry
 
         print()
         print(render_perf_section(result))
+        reuse = default_registry().stats()
+        if reuse["builds_avoided"]:
+            print(
+                f"snapshot reuse: {reuse['builds_avoided']} "
+                f"internet build(s) avoided this process "
+                f"(~{reuse['saved_ms']} ms saved across "
+                f"{reuse['renders']} rendered snapshot(s))"
+            )
     print()
     print(table4_per_as.run(context.config).text)
     print()
@@ -550,6 +614,85 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import AdmissionError, ServeClient, TenantSpec, TopologySpec
+
+    if args.tenants < 1 or args.snapshots < 1:
+        print(
+            "error: --tenants and --snapshots must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    weights = [1.0] * args.tenants
+    if args.weights:
+        try:
+            cycle = [float(w) for w in args.weights.split(",")]
+        except ValueError:
+            print(
+                f"error: bad --weights {args.weights!r}",
+                file=sys.stderr,
+            )
+            return 2
+        weights = [cycle[i % len(cycle)] for i in range(args.tenants)]
+    sink = None
+    if args.events_out:
+        from repro.obs import JsonlSink
+
+        sink = JsonlSink(args.events_out)
+    client = ServeClient(max_active=args.max_active, stream_sink=sink)
+    try:
+        handles = []
+        for index in range(args.tenants):
+            spec = TenantSpec(
+                tenant=f"tenant-{index:02d}",
+                topology=TopologySpec(
+                    scale=args.scale,
+                    seed=args.seed + index % args.snapshots,
+                    vantage_points=args.vantage_points,
+                    stubs_per_transit=args.stubs_per_transit,
+                ),
+                weight=weights[index],
+                probe_budget=args.probe_budget,
+                fault_profile=args.fault_profile,
+                max_targets=args.max_targets,
+            )
+            try:
+                handles.append(client.submit(spec))
+            except AdmissionError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        for handle in handles:
+            result = handle.wait()
+            revealed = len(result.successful_revelations())
+            flag = " PARTIAL" if result.partial else ""
+            print(
+                f"{handle.spec.tenant}: {len(result.traces)} traces, "
+                f"{len(result.pairs)} candidate pairs, "
+                f"{revealed} tunnels revealed{flag}"
+            )
+        stats = client.stats()
+        reuse = stats["registry"]
+        print(
+            f"snapshots: {reuse['renders']} rendered, "
+            f"{reuse['builds_avoided']} build(s) avoided "
+            f"(~{reuse['saved_ms']} ms saved)"
+        )
+        if args.json:
+            import json
+
+            from pathlib import Path
+
+            Path(args.json).write_text(json.dumps(stats, indent=1))
+            print(f"summary written to {args.json}")
+        if args.events_out:
+            print(f"event stream written to {args.events_out}")
+    finally:
+        client.close()
+        if sink is not None:
+            sink.close()
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     for identifier in sorted(EXPERIMENTS):
         module = EXPERIMENTS[identifier]
@@ -572,6 +715,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "configs": _cmd_configs,
         "export": _cmd_export,
+        "serve": _cmd_serve,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

@@ -18,8 +18,9 @@ from repro.campaign.postprocess import Aggregator
 from repro.core.frpla import FrplaAnalyzer
 from repro.measure import RecordingBackend, ReplayBackend, SimBackend
 from repro.probing.prober import Prober
-from repro.synth.internet import InternetConfig, SyntheticInternet, build_internet
-from repro.synth.profiles import paper_profiles
+from repro.serve.registry import TopologySpec, default_registry
+from repro.synth.internet import InternetConfig, build_internet
+from repro.synth.profiles import scaled_profiles
 
 __all__ = [
     "ContextConfig",
@@ -73,28 +74,51 @@ class CampaignContext:
 
     def __init__(self, config: ContextConfig) -> None:
         self.config = config
-        profiles = paper_profiles(config.scale)
-        if config.ttl_propagate_everywhere:
-            profiles = [
-                type(p)(
-                    asn=p.asn, name=p.name, vendor_mix=p.vendor_mix,
-                    core_size=p.core_size, edge_size=p.edge_size,
-                    ttl_propagate_share=1.0, uhp_share=0.0,
-                    mesh_degree=p.mesh_degree,
-                    ldp_all_prefixes=p.ldp_all_prefixes,
+        mutating = False
+        if config.fault_profile is not None:
+            from repro.faults import fault_profile
+
+            mutating = fault_profile(
+                config.fault_profile
+            ).mutates_network
+        if mutating:
+            # Flap-style profiles rewire links mid-run, so they get a
+            # private, unfrozen build; everything else shares the
+            # process-wide rendered snapshot below.
+            self.internet = build_internet(
+                InternetConfig(
+                    profiles=tuple(
+                        scaled_profiles(
+                            config.scale,
+                            config.ttl_propagate_everywhere,
+                        )
+                    ),
+                    vantage_points=config.vantage_points,
+                    stubs_per_transit=config.stubs_per_transit,
+                    seed=config.seed,
+                    compiled_plane=config.compiled_plane,
+                    probe_batch_window=config.batch_window,
                 )
-                for p in profiles
-            ]
-        self.internet: SyntheticInternet = build_internet(
-            InternetConfig(
-                profiles=tuple(profiles),
-                vantage_points=config.vantage_points,
-                stubs_per_transit=config.stubs_per_transit,
-                seed=config.seed,
-                compiled_plane=config.compiled_plane,
-                probe_batch_window=config.batch_window,
             )
-        )
+        else:
+            # Render-once, attach-many: two contexts in one process
+            # that differ only in execution knobs (workers, budget,
+            # record/replay, compiled plane) now share one rendered
+            # topology instead of silently paying ``internet_build``
+            # twice for the same content key.
+            self.internet = default_registry().attach(
+                TopologySpec(
+                    scale=config.scale,
+                    seed=config.seed,
+                    vantage_points=config.vantage_points,
+                    stubs_per_transit=config.stubs_per_transit,
+                    ttl_propagate_everywhere=(
+                        config.ttl_propagate_everywhere
+                    ),
+                ),
+                compiled_plane=config.compiled_plane,
+                batch_window=config.batch_window,
+            )
         prober, recording = self._build_prober(config)
         self.campaign = Campaign(
             prober,

@@ -390,6 +390,13 @@ class FaultyBackend(ProbeBackend):
         network = getattr(engine, "network", None)
         if network is None:
             return
+        if getattr(network, "frozen", False):
+            raise RuntimeError(
+                f"fault profile {self.profile.name!r} fired a "
+                f"{action!r} flap against a frozen shared snapshot; "
+                "network-mutating profiles need a private internet "
+                "(serve admission should have rejected this profile)"
+            )
         if action == "route-change":
             links = [
                 link

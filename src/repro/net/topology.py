@@ -24,7 +24,16 @@ from repro.net.router import Interface, Router
 from repro.net.vendors import VendorProfile, CISCO
 from repro.mpls.config import MplsConfig
 
-__all__ = ["Link", "Network"]
+__all__ = ["FrozenNetworkError", "Link", "Network"]
+
+
+class FrozenNetworkError(RuntimeError):
+    """Raised when code tries to mutate a frozen (shared) network.
+
+    Rendered internets handed out by the serve snapshot registry are
+    shared read-only between tenants; any structural edit would leak
+    one tenant's mutation into every other tenant's measurements.
+    """
 
 
 class Link:
@@ -108,6 +117,35 @@ class Network:
         self._by_asn: Dict[int, List[Router]] = {}
         #: AS that "owns" (originates) each prefix.
         self._prefix_asn: Dict[Prefix, int] = {}
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Freezing (shared read-only snapshots)
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has sealed this topology."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Seal the topology against structural mutation.
+
+        Called by the serve snapshot registry after a rendered
+        internet passes :meth:`validate`; from then on
+        :meth:`add_router`/:meth:`add_link` raise
+        :class:`FrozenNetworkError`, and chaos backends refuse to fire
+        network-mutating flaps against it.  There is deliberately no
+        ``unfreeze``: a shared snapshot stays immutable for life.
+        """
+        self._frozen = True
+
+    def _ensure_mutable(self) -> None:
+        """Raise :class:`FrozenNetworkError` when frozen."""
+        if self._frozen:
+            raise FrozenNetworkError(
+                "network is frozen (shared rendered snapshot); "
+                "structural edits are forbidden"
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -121,6 +159,7 @@ class Network:
         loopback: Optional[int] = None,
     ) -> Router:
         """Create a router; loopback auto-allocated unless given."""
+        self._ensure_mutable()
         if name in self.routers:
             raise ValueError(f"duplicate router name {name!r}")
         if loopback is None:
@@ -152,6 +191,7 @@ class Network:
         where the convention is that the first router's operator numbers
         the link).
         """
+        self._ensure_mutable()
         if a is b:
             raise ValueError("cannot link a router to itself")
         if prefix is None:

@@ -106,6 +106,20 @@ class ControlPlane:
         """
         self._invalidation_listeners.append(callback)
 
+    def remove_invalidation_listener(
+        self, callback: Callable[[], None]
+    ) -> None:
+        """Deregister ``callback`` (no error when absent).
+
+        Long-lived shared control planes (serve snapshots) see engines
+        attach and detach continuously; without removal every detached
+        engine's flush hooks would pile up and pin the engine alive.
+        """
+        try:
+            self._invalidation_listeners.remove(callback)
+        except ValueError:
+            pass
+
     def _notify_invalidation(self) -> None:
         for callback in self._invalidation_listeners:
             callback()

@@ -1,0 +1,363 @@
+"""Per-tenant campaign sessions: spec, isolated stack, streaming.
+
+A :class:`TenantSpec` is everything a tenant submits: which topology
+to measure (a :class:`~repro.serve.registry.TopologySpec`, resolved
+through the shared snapshot registry), its scheduler weight, and the
+campaign policy knobs the standalone CLI already exposes (probe
+budget, retries, chaos profile, circuit breaker, compiled plane,
+batch window, warehouse checkpoint).
+
+A :class:`CampaignSession` runs the **unmodified**
+:class:`~repro.campaign.orchestrator.Campaign` in a worker thread
+over a fully private measurement stack — engine, prober, service,
+metrics registry, event log — attached to the shared snapshot, with a
+:class:`~repro.serve.scheduler.ScheduledBackend` turnstile between
+the service and the backend.  Isolation plus an unmodified
+orchestrator is the whole determinism argument: the served run
+executes exactly the standalone code path, so
+:func:`run_standalone` (the private-internet twin used by tests and
+``tools/serve_soak.py --verify-standalone``) produces byte-identical
+results, measurement counters included.
+
+Streaming: each session's structured events (phase starts, probes,
+revelation verdicts, the final ``campaign.metrics`` record) are
+buffered on the session, optionally mirrored to a per-session JSONL
+file and to the server's combined tagged stream, and can be consumed
+live through :meth:`CampaignSession.stream`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.campaign.orchestrator import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+)
+from repro.measure import SimBackend
+from repro.obs import EventLog, JsonlSink, MetricsRegistry, Obs, Tracer
+from repro.probing.prober import Prober
+from repro.serve.registry import (
+    SnapshotRegistry,
+    TopologySpec,
+    render_internet,
+    topology_key,
+)
+from repro.serve.scheduler import FairScheduler, ScheduledBackend
+
+__all__ = [
+    "AdmissionError",
+    "CampaignSession",
+    "TenantSpec",
+    "run_standalone",
+]
+
+#: Session lifecycle states.
+QUEUED, RUNNING, DONE, FAILED, CANCELLED = (
+    "queued", "running", "done", "failed", "cancelled",
+)
+
+
+class AdmissionError(ValueError):
+    """Raised when the server refuses a tenant spec.
+
+    Admission is the contract that keeps shared snapshots safe and
+    results deterministic: specs asking for prewarm workers (fork
+    from a thread) or network-mutating chaos profiles (flaps against
+    a frozen shared topology) are rejected up front with an
+    actionable message instead of failing mid-campaign.
+    """
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's campaign request."""
+
+    tenant: str
+    topology: TopologySpec = TopologySpec()
+    #: Fair-scheduler weight: probes granted per unit virtual time,
+    #: relative to other tenants.
+    weight: float = 1.0
+    #: Global probe budget (clean partial result when exhausted).
+    probe_budget: Optional[int] = None
+    max_retries: int = 0
+    #: Shipped chaos profile injected for this tenant only; profiles
+    #: that mutate the network are refused on shared snapshots.
+    fault_profile: Optional[str] = None
+    breaker_threshold: Optional[int] = None
+    compiled_plane: bool = False
+    batch_window: int = 1
+    #: Warehouse root for checkpoint/resume (same machinery and
+    #: snapshot keys as ``repro campaign --checkpoint/--resume``).
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    #: Truncate the campaign target list (soak/test sizing knob);
+    #: None probes every campaign target.
+    max_targets: Optional[int] = None
+    #: Prewarm workers — must stay 1 under the server (admission
+    #: enforces it); kept as a field so the spec mirrors the CLI.
+    workers: int = 1
+    #: Mirror this session's events to a JSONL file at this path.
+    events_path: Optional[str] = None
+
+    def campaign_config(self, internet) -> CampaignConfig:
+        """The orchestrator config this spec maps to (identical to
+        the standalone ``CampaignContext`` construction)."""
+        return CampaignConfig(
+            suspicious_asns=tuple(internet.transit_asns),
+            workers=1,
+            probe_budget=self.probe_budget,
+            max_retries=self.max_retries,
+            breaker_threshold=self.breaker_threshold,
+        )
+
+    def checkpoint_topology(self) -> Dict[str, object]:
+        """The warehouse topology descriptor (checkpoint-compatible
+        with ``repro campaign`` so serve and CLI runs share
+        snapshots)."""
+        descriptor = self.topology.descriptor()
+        if self.fault_profile is not None:
+            descriptor["fault_profile"] = self.fault_profile
+            if self.batch_window > 1:
+                descriptor["batch_window"] = self.batch_window
+        return descriptor
+
+
+class _BufferSink:
+    """Event sink buffering records and feeding the live stream."""
+
+    def __init__(self, session: "CampaignSession") -> None:
+        self._session = session
+
+    def write(self, record: Dict[str, object]) -> None:
+        """Buffer one record and push it to any live consumer."""
+        self._session._on_event(record)
+
+
+class _TaggedSink:
+    """Thread-safe wrapper adding a ``tenant`` field to records bound
+    for a sink shared across sessions (the server's combined
+    stream)."""
+
+    def __init__(self, sink, tenant: str, lock: threading.Lock) -> None:
+        self._sink = sink
+        self._tenant = tenant
+        self._lock = lock
+
+    def write(self, record: Dict[str, object]) -> None:
+        """Tag and forward one record under the shared lock."""
+        tagged = dict(record)
+        tagged["tenant"] = self._tenant
+        with self._lock:
+            self._sink.write(tagged)
+
+
+class CampaignSession:
+    """One tenant's campaign running under the server.
+
+    Created by :meth:`repro.serve.server.CampaignServer.submit`;
+    consumers hold it to await the result (:meth:`wait`), stream
+    events (:meth:`stream`), and read post-run state (``result``,
+    ``metrics``, ``grant_snapshot``).
+    """
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        registry: SnapshotRegistry,
+        scheduler: FairScheduler,
+        loop: asyncio.AbstractEventLoop,
+        shared_sink=None,
+        shared_sink_lock: Optional[threading.Lock] = None,
+    ) -> None:
+        self.spec = spec
+        self.status = QUEUED
+        self.result: Optional[CampaignResult] = None
+        self.error: Optional[BaseException] = None
+        #: Buffered structured events (dicts, emission order).
+        self.events: List[Dict[str, object]] = []
+        #: Scheduler grant totals captured the moment this session
+        #: finished (fairness tests read cross-tenant state here).
+        self.grant_snapshot: Optional[Dict[str, Dict[str, object]]] = None
+        #: The session's private metrics registry (set once the stack
+        #: is built; measurement counters land here).
+        self.metrics: Optional[MetricsRegistry] = None
+        self.topology_key = topology_key(spec.topology)
+        self._registry = registry
+        self._scheduler = scheduler
+        self._loop = loop
+        self._shared_sink = shared_sink
+        self._shared_sink_lock = shared_sink_lock
+        self._done_event = asyncio.Event()
+        self._stream_queue: "asyncio.Queue" = asyncio.Queue()
+        self._stream_closed = False
+
+    # ------------------------------------------------------------------
+    # Consumer API (loop thread)
+
+    async def wait(self) -> CampaignResult:
+        """Await completion; returns the result or re-raises the
+        session's failure."""
+        await self._done_event.wait()
+        if self.error is not None:
+            raise self.error
+        if self.status == CANCELLED:
+            raise asyncio.CancelledError(
+                f"session {self.spec.tenant!r} was cancelled"
+            )
+        assert self.result is not None
+        return self.result
+
+    async def stream(self):
+        """Yield structured event records live until completion.
+
+        Events already buffered are yielded first, so late consumers
+        see the full stream.
+        """
+        for record in list(self.events):
+            yield record
+        while True:
+            record = await self._stream_queue.get()
+            if record is None:
+                return
+            yield record
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+
+    def _on_event(self, record: Dict[str, object]) -> None:
+        """Buffer a record and feed the live stream (worker thread)."""
+        self.events.append(record)
+        self._loop.call_soon_threadsafe(self._push_stream, record)
+
+    def _push_stream(self, record) -> None:
+        """Enqueue a record for :meth:`stream` (loop thread)."""
+        if not self._stream_closed:
+            self._stream_queue.put_nowait(record)
+
+    def _finalize_stream(self) -> None:
+        """Close the live stream with a sentinel (loop thread)."""
+        if not self._stream_closed:
+            self._stream_closed = True
+            self._stream_queue.put_nowait(None)
+
+    # ------------------------------------------------------------------
+    # Execution (worker thread)
+
+    def _run(self) -> CampaignResult:
+        """Build the isolated stack and run the campaign.
+
+        Runs on an executor thread; everything it touches is either
+        session-private or explicitly thread-safe (registry lock,
+        scheduler handshake, tagged shared sink).
+        """
+        spec = self.spec
+        events = EventLog()
+        events.attach(_BufferSink(self))
+        file_sink = None
+        if spec.events_path is not None:
+            file_sink = JsonlSink(spec.events_path)
+            events.attach(file_sink)
+        if self._shared_sink is not None:
+            events.attach(
+                _TaggedSink(
+                    self._shared_sink, spec.tenant,
+                    self._shared_sink_lock or threading.Lock(),
+                )
+            )
+        obs = Obs(MetricsRegistry(), events, Tracer(events))
+        self.metrics = obs.metrics
+        attached = self._registry.attach(
+            spec.topology,
+            compiled_plane=spec.compiled_plane,
+            batch_window=spec.batch_window,
+            obs=obs,
+        )
+        backend = SimBackend(attached.engine)
+        if spec.fault_profile is not None:
+            from repro.faults import FaultyBackend, fault_profile
+
+            backend = FaultyBackend(
+                backend, fault_profile(spec.fault_profile)
+            )
+        gate = ScheduledBackend(
+            backend, self._scheduler, spec.tenant, self._loop
+        )
+        prober = Prober(gate, batch_window=spec.batch_window)
+        campaign = Campaign(
+            prober,
+            attached.vps,
+            attached.asn_of_address,
+            spec.campaign_config(attached),
+        )
+        checkpoint = None
+        if spec.checkpoint_dir is not None:
+            from repro.store import CampaignCheckpoint
+
+            checkpoint = CampaignCheckpoint(
+                spec.checkpoint_dir,
+                topology=self.spec.checkpoint_topology(),
+                resume=spec.resume,
+            )
+        targets = attached.campaign_targets()
+        if spec.max_targets is not None:
+            targets = targets[: spec.max_targets]
+        try:
+            result = campaign.run(targets, checkpoint=checkpoint)
+            events.emit(
+                "campaign.metrics",
+                counters=obs.metrics.counters_snapshot(),
+            )
+            return result
+        finally:
+            service = getattr(prober, "service", None)
+            if service is not None:
+                attached.control.remove_invalidation_listener(
+                    service.flush_cache
+                )
+            attached.detach()
+            if file_sink is not None:
+                file_sink.close()
+            events.detach_all()
+
+
+def run_standalone(spec: TenantSpec):
+    """The standalone-orchestrator twin of a served session.
+
+    Renders a **private** internet for ``spec.topology`` (no sharing,
+    no freeze — network-mutating chaos profiles are legal here),
+    builds the same measurement stack a session builds minus the
+    scheduler turnstile, and runs the same campaign.  Returns
+    ``(result, metrics_registry)``; tests and the soak harness assert
+    the served twin is byte-identical, measurement counters included.
+    """
+    internet = render_internet(spec.topology)
+    obs = Obs(MetricsRegistry(), EventLog())
+    attached = internet.attach(
+        compiled_plane=spec.compiled_plane,
+        probe_batch_window=spec.batch_window,
+        obs=obs,
+    )
+    backend = SimBackend(attached.engine)
+    if spec.fault_profile is not None:
+        from repro.faults import FaultyBackend, fault_profile
+
+        backend = FaultyBackend(
+            backend, fault_profile(spec.fault_profile)
+        )
+    prober = Prober(backend, batch_window=spec.batch_window)
+    campaign = Campaign(
+        prober,
+        attached.vps,
+        attached.asn_of_address,
+        spec.campaign_config(attached),
+    )
+    targets = attached.campaign_targets()
+    if spec.max_targets is not None:
+        targets = targets[: spec.max_targets]
+    result = campaign.run(targets)
+    return result, obs.metrics

@@ -37,7 +37,12 @@ from repro.probing.prober import Prober
 from repro.routing.control import ControlPlane
 from repro.synth.profiles import TransitProfile, paper_profiles
 
-__all__ = ["InternetConfig", "SyntheticInternet", "build_internet"]
+__all__ = [
+    "AttachedInternet",
+    "InternetConfig",
+    "SyntheticInternet",
+    "build_internet",
+]
 
 _STUB_ASN_BASE = 60000
 
@@ -182,6 +187,85 @@ class SyntheticInternet:
         """Ground-truth router path of a data packet (TTL 255)."""
         outcome = self.engine.send_probe(source, dst, ttl=255, flow_id=0)
         return outcome.forward_path
+
+    def attach(
+        self,
+        compiled_plane: bool = False,
+        probe_batch_window: int = 1,
+        trajectory_cache: bool = True,
+        obs=None,
+    ) -> "AttachedInternet":
+        """A fresh measurement stack over this (shared) topology.
+
+        Builds a new :class:`ForwardingEngine` and
+        :class:`~repro.probing.prober.Prober` riding the *same*
+        network and control plane — route memos stay shared (they are
+        pure functions of the topology), while trajectory caches,
+        label allocation, compiled programs, and metrics are private
+        to the attachment.  This is the serve snapshot registry's
+        lazy-attach path: rendering the topology once and attaching N
+        engines costs one ``internet_build`` instead of N.
+        """
+        from dataclasses import replace
+
+        engine = ForwardingEngine(
+            self.network,
+            self.control,
+            trajectory_cache=trajectory_cache,
+            obs=obs,
+            compiled=compiled_plane,
+        )
+        prober = Prober(
+            SimBackend(engine), batch_window=probe_batch_window
+        )
+        return AttachedInternet(
+            self,
+            engine,
+            prober,
+            replace(
+                self.config,
+                trajectory_cache=trajectory_cache,
+                compiled_plane=compiled_plane,
+                probe_batch_window=probe_batch_window,
+            ),
+        )
+
+
+class AttachedInternet:
+    """A private engine + prober over a shared rendered internet.
+
+    Everything topological (network, ground truth, vantage points,
+    profiles) delegates to the underlying
+    :class:`SyntheticInternet`; ``engine``, ``prober``, and ``config``
+    are attachment-local, so concurrent attachments never mix counters
+    or caches.  Produced by :meth:`SyntheticInternet.attach`.
+    """
+
+    def __init__(self, base, engine, prober, config) -> None:
+        self.base = base
+        self.engine = engine
+        self.prober = prober
+        self.config = config
+
+    def __getattr__(self, name: str):
+        """Delegate everything non-local to the shared internet."""
+        return getattr(self.base, name)
+
+    def detach(self) -> None:
+        """Unhook this attachment's caches from the shared control
+        plane so the engine (and its memoised trajectories) can be
+        garbage-collected while the snapshot lives on."""
+        control = self.base.control
+        control.remove_invalidation_listener(
+            self.engine.flush_trajectories
+        )
+        if self.engine.compiled_plane is not None:
+            control.remove_invalidation_listener(
+                self.engine._flush_compiled
+            )
+        service = getattr(self.prober, "service", None)
+        if service is not None:
+            control.remove_invalidation_listener(service.flush_cache)
 
 
 def build_internet(

@@ -22,6 +22,7 @@ __all__ = [
     "PAPER_PROFILES",
     "paper_profiles",
     "random_profiles",
+    "scaled_profiles",
 ]
 
 #: Operator survey shares (Sec. 1–2 of the paper).
@@ -207,3 +208,34 @@ def paper_profiles(scale: float = 1.0) -> List[TransitProfile]:
             )
         )
     return scaled
+
+
+def scaled_profiles(
+    scale: float = 1.0, ttl_propagate_everywhere: bool = False
+) -> List[TransitProfile]:
+    """The Table 5 profiles scaled, optionally with tunnels visible.
+
+    ``ttl_propagate_everywhere=True`` flips every AS to full TTL
+    propagation and zero UHP — the "visible tunnels" control condition
+    the experiments and the serve topology specs share.  This is the
+    one canonical place that transform lives so a topology spec built
+    here and one built by the experiment harness render byte-identical
+    internets.
+    """
+    profiles = paper_profiles(scale)
+    if not ttl_propagate_everywhere:
+        return profiles
+    return [
+        TransitProfile(
+            asn=p.asn,
+            name=p.name,
+            vendor_mix=dict(p.vendor_mix),
+            core_size=p.core_size,
+            edge_size=p.edge_size,
+            ttl_propagate_share=1.0,
+            uhp_share=0.0,
+            mesh_degree=p.mesh_degree,
+            ldp_all_prefixes=p.ldp_all_prefixes,
+        )
+        for p in profiles
+    ]

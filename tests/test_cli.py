@@ -68,6 +68,33 @@ class TestCampaign:
         assert document["traces"]
 
 
+class TestServe:
+    def test_serve_multi_tenant_summary(self, capsys, tmp_path):
+        path = tmp_path / "serve.json"
+        code = main([
+            "serve", "--tenants", "4", "--snapshots", "2",
+            "--scale", "0.3", "--seed", "11",
+            "--vantage-points", "3", "--stubs-per-transit", "2",
+            "--max-targets", "4", "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenant-00" in out and "tenant-03" in out
+        assert "2 rendered" in out
+        document = json.loads(path.read_text())
+        assert document["registry"]["renders"] == 2
+        assert document["registry"]["builds_avoided"] == 2
+        assert len(document["scheduler"]) == 4
+
+    def test_serve_rejects_bad_weights(self, capsys):
+        assert main(["serve", "--weights", "fast,slow"]) == 2
+
+    def test_serve_rejects_mutating_profile(self, capsys):
+        assert main(
+            ["serve", "--tenants", "1", "--fault-profile", "flap"]
+        ) == 2
+
+
 class TestConfigs:
     def test_single_router_config(self, capsys):
         assert main(

@@ -1,0 +1,312 @@
+"""Tests for the multi-tenant campaign server (``repro.serve``).
+
+Covers the subsystem's load-bearing promises: served runs are
+byte-identical to the standalone orchestrator (measurement counters
+included), snapshots render once per content key no matter how many
+tenants attach, frozen shared topologies reject every mutation path,
+admission turns unsafe specs away up front, and drain settles every
+submitted session.
+"""
+
+import pytest
+
+from repro.net.topology import FrozenNetworkError
+from repro.obs import measurement_counters
+from repro.serve import (
+    AdmissionError,
+    ServeClient,
+    SnapshotRegistry,
+    TenantSpec,
+    TopologySpec,
+    run_standalone,
+    topology_key,
+)
+from repro.serve.registry import default_registry, render_internet
+
+#: Small-but-complete topology: every campaign phase runs and tunnels
+#: are revealed, within a unit-test budget.
+SMALL = TopologySpec(
+    scale=0.3, seed=11, vantage_points=3, stubs_per_transit=2
+)
+
+
+def small_spec(tenant, **overrides):
+    overrides.setdefault("topology", SMALL)
+    overrides.setdefault("max_targets", 6)
+    return TenantSpec(tenant=tenant, **overrides)
+
+
+def fingerprint(result, counters):
+    return (
+        result.traces,
+        result.pings,
+        result.pairs,
+        result.revelations,
+        result.probes_sent,
+        result.partial,
+        measurement_counters(counters),
+    )
+
+
+class TestByteIdentity:
+    def test_served_equals_standalone_counters_included(self):
+        spec = small_spec("ident")
+        client = ServeClient(registry=SnapshotRegistry())
+        try:
+            handle = client.submit(spec)
+            served = handle.wait(timeout=300)
+            served_print = fingerprint(
+                served, handle.session.metrics.counters_snapshot()
+            )
+        finally:
+            client.close()
+        expected, metrics = run_standalone(spec)
+        assert served_print == fingerprint(
+            expected, metrics.counters_snapshot()
+        )
+
+    def test_batch_window_spec_still_identical(self):
+        spec = small_spec("windowed", batch_window=4)
+        client = ServeClient(registry=SnapshotRegistry())
+        try:
+            served = client.submit(spec).wait(timeout=300)
+        finally:
+            client.close()
+        expected, _ = run_standalone(spec)
+        assert served.traces == expected.traces
+        assert served.revelations == expected.revelations
+
+
+class TestSnapshotSharing:
+    def test_32_tenants_4_snapshots_renders_once_per_key(self):
+        topologies = [
+            TopologySpec(
+                scale=0.25, seed=100 + i,
+                vantage_points=2, stubs_per_transit=2,
+            )
+            for i in range(4)
+        ]
+        registry = SnapshotRegistry()
+        client = ServeClient(registry=registry, max_active=8)
+        try:
+            handles = [
+                client.submit(
+                    TenantSpec(
+                        tenant=f"t{i:02d}",
+                        topology=topologies[i % 4],
+                        max_targets=2,
+                    )
+                )
+                for i in range(32)
+            ]
+            for handle in handles:
+                handle.wait(timeout=600)
+        finally:
+            client.close()
+        stats = registry.stats()
+        assert stats["renders"] == len(
+            {topology_key(t) for t in topologies}
+        )
+        assert stats["attaches"] == 32
+        assert stats["attach_hits"] == 32 - 4
+        assert stats["builds_avoided"] == 28
+
+    def test_attachments_are_isolated(self):
+        registry = SnapshotRegistry()
+        a = registry.attach(SMALL)
+        b = registry.attach(SMALL)
+        assert a.network is b.network  # shared topology...
+        assert a.engine is not b.engine  # ...private execution
+        assert a.prober is not b.prober
+        assert a.engine.obs.metrics is not b.engine.obs.metrics
+        a.detach()
+        b.detach()
+
+    def test_campaign_context_reuses_registry_snapshot(self):
+        # Satellite: two contexts in one process differing only in an
+        # execution knob must share one render via the default
+        # registry (previously each paid internet_build).
+        from repro.experiments.common import (
+            ContextConfig,
+            campaign_context,
+        )
+
+        base = dict(
+            scale=0.25, seed=4242,
+            vantage_points=2, stubs_per_transit=2,
+        )
+        before = default_registry().stats()
+        campaign_context(ContextConfig(**base))
+        campaign_context(ContextConfig(max_retries=1, **base))
+        after = default_registry().stats()
+        assert after["renders"] == before["renders"] + 1
+        assert after["attaches"] == before["attaches"] + 2
+        assert after["attach_hits"] == before["attach_hits"] + 1
+
+
+class TestFreezeGuard:
+    def test_frozen_network_rejects_structural_edits(self):
+        internet = render_internet(SMALL)
+        internet.network.freeze()
+        assert internet.network.frozen
+        with pytest.raises(FrozenNetworkError):
+            internet.network.add_router("intruder", asn=9999)
+        routers = list(internet.network.routers.values())
+        with pytest.raises(FrozenNetworkError):
+            internet.network.add_link(routers[0], routers[1])
+
+    def test_registry_snapshots_are_frozen(self):
+        registry = SnapshotRegistry()
+        attached = registry.attach(SMALL)
+        try:
+            assert attached.network.frozen
+            with pytest.raises(FrozenNetworkError):
+                attached.network.add_router("intruder", asn=9999)
+        finally:
+            attached.detach()
+
+    def test_flap_profile_refused_on_shared_snapshot(self):
+        client = ServeClient(registry=SnapshotRegistry())
+        try:
+            with pytest.raises(AdmissionError):
+                client.submit(small_spec("bad", fault_profile="flap"))
+        finally:
+            client.close()
+
+    def test_flap_fire_against_frozen_network_raises(self):
+        from repro.faults import FaultyBackend, fault_profile
+        from repro.measure import SimBackend
+
+        internet = render_internet(SMALL)
+        internet.network.freeze()
+        backend = FaultyBackend(
+            SimBackend(internet.engine), fault_profile("flap")
+        )
+        with pytest.raises(RuntimeError, match="frozen"):
+            backend._fire_flap(0, "route-change")
+
+
+class TestAdmission:
+    def test_workers_must_be_one(self):
+        client = ServeClient(registry=SnapshotRegistry())
+        try:
+            with pytest.raises(AdmissionError, match="workers"):
+                client.submit(small_spec("forker", workers=4))
+        finally:
+            client.close()
+
+    def test_unknown_profile_rejected(self):
+        client = ServeClient(registry=SnapshotRegistry())
+        try:
+            with pytest.raises(AdmissionError):
+                client.submit(
+                    small_spec("chaotic", fault_profile="no-such")
+                )
+        finally:
+            client.close()
+
+    def test_non_mutating_profile_admitted(self):
+        client = ServeClient(registry=SnapshotRegistry())
+        try:
+            handle = client.submit(
+                small_spec("hostile", fault_profile="hostile",
+                           max_retries=1)
+            )
+            result = handle.wait(timeout=300)
+            assert result.traces
+        finally:
+            client.close()
+
+
+class TestLifecycle:
+    def test_drain_cancels_queued_keeps_active(self):
+        client = ServeClient(
+            registry=SnapshotRegistry(), max_active=1
+        )
+        try:
+            handles = [
+                client.submit(small_spec(f"d{i}", max_targets=None))
+                for i in range(3)
+            ]
+            client.drain(cancel_queued=True, timeout=600)
+            statuses = [handle.status for handle in handles]
+            assert all(
+                status in ("done", "cancelled") for status in statuses
+            )
+            assert statuses.count("done") >= 1
+            assert statuses.count("cancelled") >= 1
+            stats = client.stats()
+            assert stats["draining"]
+            with pytest.raises(AdmissionError):
+                client.submit(small_spec("late"))
+        finally:
+            client.close()
+
+    def test_session_buffers_events_and_final_metrics(self):
+        client = ServeClient(registry=SnapshotRegistry())
+        try:
+            handle = client.submit(small_spec("eventful"))
+            handle.wait(timeout=300)
+            kinds = [record.get("kind") for record in handle.events]
+            assert "campaign.metrics" in kinds
+            final = [
+                record for record in handle.events
+                if record.get("kind") == "campaign.metrics"
+            ][-1]
+            assert final["counters"].get("measure.probes", 0) > 0
+        finally:
+            client.close()
+
+    def test_events_mirrored_to_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        client = ServeClient(registry=SnapshotRegistry())
+        try:
+            handle = client.submit(
+                small_spec("writer", events_path=str(path))
+            )
+            handle.wait(timeout=300)
+        finally:
+            client.close()
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(handle.events)
+
+    def test_server_stats_shape(self):
+        client = ServeClient(registry=SnapshotRegistry())
+        try:
+            client.submit(small_spec("s")).wait(timeout=300)
+            stats = client.stats()
+        finally:
+            client.close()
+        assert stats["sessions"] == {"done": 1}
+        assert set(stats["registry"]) >= {
+            "renders", "attach_hits", "builds_avoided", "saved_ms",
+        }
+        assert "s" in stats["scheduler"]
+
+
+class TestTopologyKey:
+    def test_key_is_stable_and_discriminating(self):
+        assert topology_key(SMALL) == topology_key(
+            TopologySpec(
+                scale=0.3, seed=11,
+                vantage_points=3, stubs_per_transit=2,
+            )
+        )
+        assert topology_key(SMALL) != topology_key(
+            TopologySpec(scale=0.3, seed=12,
+                         vantage_points=3, stubs_per_transit=2)
+        )
+
+    def test_checkpoint_descriptor_matches_context_build(self):
+        # Serve sessions and `repro campaign --checkpoint` must land
+        # in the same warehouse snapshot for the same measured
+        # topology + chaos shape.
+        spec = small_spec("ckpt", fault_profile="hostile",
+                          batch_window=2)
+        descriptor = spec.checkpoint_topology()
+        assert descriptor["kind"] == "synthetic-internet"
+        assert descriptor["fault_profile"] == "hostile"
+        assert descriptor["batch_window"] == 2
+        clean = small_spec("clean").checkpoint_topology()
+        assert "fault_profile" not in clean
+        assert "batch_window" not in clean

@@ -1,0 +1,100 @@
+"""Fairness tests for the serve scheduler (ISSUE satellite).
+
+The contract: while two tenants are both backlogged, the weighted
+fair scheduler's grant ratio tracks their weight ratio; a tenant that
+exhausts its probe budget yields a clean partial result without
+starving (or being starved by) its competitors — and both properties
+hold under the ``hostile`` chaos profile.
+"""
+
+import pytest
+
+from repro.serve import ServeClient, SnapshotRegistry, TenantSpec, TopologySpec
+
+SMALL = TopologySpec(
+    scale=0.3, seed=11, vantage_points=3, stubs_per_transit=2
+)
+
+
+def spec(tenant, **overrides):
+    overrides.setdefault("topology", SMALL)
+    return TenantSpec(tenant=tenant, **overrides)
+
+
+class TestWeightedFairness:
+    @pytest.mark.parametrize("profile", [None, "hostile"])
+    def test_10_to_1_weights_give_10_to_1_grants(self, profile):
+        """The acceptance bar: 10:1 budget weights → dispatch counts
+        within tolerance of 10:1, clean and under ``hostile``."""
+        kwargs = {}
+        if profile is not None:
+            kwargs = {"fault_profile": profile, "max_retries": 1}
+        client = ServeClient(
+            registry=SnapshotRegistry(), max_active=2
+        )
+        try:
+            heavy = client.submit(
+                spec("heavy", weight=10.0, **kwargs)
+            )
+            light = client.submit(spec("light", weight=1.0, **kwargs))
+            heavy.wait(timeout=600)
+            light.wait(timeout=600)
+        finally:
+            client.close()
+        # The snapshot taken the moment the heavy tenant finished is
+        # the contended-window measurement: both lanes were backlogged
+        # the whole time, so grants must track weights.
+        lanes = heavy.session.grant_snapshot
+        heavy_probes = lanes["heavy"]["granted_probes"]
+        light_probes = max(1, lanes["light"]["granted_probes"])
+        ratio = heavy_probes / light_probes
+        assert 6.0 <= ratio <= 15.0, lanes
+        # And nobody starved: the light tenant still finished with a
+        # full (non-partial) result.
+        assert light.session.result is not None
+        assert not light.session.result.partial
+
+    def test_equal_weights_share_evenly(self):
+        client = ServeClient(
+            registry=SnapshotRegistry(), max_active=2
+        )
+        try:
+            a = client.submit(spec("a", weight=1.0))
+            b = client.submit(spec("b", weight=1.0))
+            a.wait(timeout=600)
+            b.wait(timeout=600)
+        finally:
+            client.close()
+        lanes = a.session.grant_snapshot
+        ratio = lanes["a"]["granted_probes"] / max(
+            1, lanes["b"]["granted_probes"]
+        )
+        assert 0.7 <= ratio <= 1.4, lanes
+
+
+class TestBudgetedTenant:
+    def test_budget_exhaustion_is_clean_and_contained(self):
+        """A budget-killed tenant ends partial with a stop reason;
+        its competitor is untouched and completes in full."""
+        client = ServeClient(
+            registry=SnapshotRegistry(), max_active=2
+        )
+        try:
+            broke = client.submit(
+                spec("broke", probe_budget=25, weight=1.0)
+            )
+            solvent = client.submit(spec("solvent", weight=1.0))
+            partial = broke.wait(timeout=600)
+            full = solvent.wait(timeout=600)
+            stats = client.stats()
+            server_metrics = client.server.obs.metrics
+        finally:
+            client.close()
+        assert partial.partial
+        assert partial.probes_sent <= 25
+        assert "budget" in (partial.stop_reason or "")
+        assert not full.partial
+        assert len(full.traces) > len(partial.traces)
+        assert stats["sessions"] == {"done": 2}
+        assert server_metrics.get("serve.sessions.partial") == 1
+        assert server_metrics.get("serve.budget_denials") >= 1

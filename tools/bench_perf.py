@@ -159,6 +159,76 @@ def resume_stats() -> dict:
     }
 
 
+def serve_stats() -> dict:
+    """Multi-tenant serve throughput over shared snapshots.
+
+    Runs eight tenant campaigns over two rendered topologies through
+    the campaign server and reports fleet throughput plus the
+    snapshot-sharing ledger; ``bit_identical`` asserts the serve
+    determinism contract (a served single-tenant run equals the
+    standalone orchestrator, measurement counters included).
+    """
+    import time
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs import measurement_counters
+    from repro.serve import (
+        ServeClient,
+        SnapshotRegistry,
+        TenantSpec,
+        TopologySpec,
+        run_standalone,
+    )
+
+    specs = [
+        TenantSpec(
+            tenant=f"bench-{index}",
+            topology=TopologySpec(
+                scale=0.3,
+                seed=11 + index % 2,
+                vantage_points=3,
+                stubs_per_transit=2,
+            ),
+            max_targets=4,
+        )
+        for index in range(8)
+    ]
+    registry = SnapshotRegistry()
+    client = ServeClient(registry=registry, max_active=4)
+    try:
+        start = time.perf_counter()
+        handles = [client.submit(spec) for spec in specs]
+        results = [handle.wait(timeout=600) for handle in handles]
+        seconds = time.perf_counter() - start
+        probe = handles[0]
+        served = (
+            results[0].traces,
+            results[0].revelations,
+            measurement_counters(
+                probe.session.metrics.counters_snapshot()
+            ),
+        )
+    finally:
+        client.close()
+    expected, metrics = run_standalone(specs[0])
+    standalone = (
+        expected.traces,
+        expected.revelations,
+        measurement_counters(metrics.counters_snapshot()),
+    )
+    reuse = registry.stats()
+    probes = sum(result.probes_sent for result in results)
+    return {
+        "tenants": len(specs),
+        "snapshots": reuse["renders"],
+        "builds_avoided": reuse["builds_avoided"],
+        "fleet_seconds": round(seconds, 4),
+        "campaigns_per_sec": round(len(specs) / seconds, 2),
+        "probes_per_sec": round(probes / seconds, 1),
+        "bit_identical": served == standalone,
+    }
+
+
 def main() -> int:
     """Run everything and write the JSON snapshot."""
     output = Path(
@@ -168,6 +238,7 @@ def main() -> int:
         "benches": run_benches(),
         "campaign_cache": cache_stats(),
         "campaign_resume": resume_stats(),
+        "serve_throughput": serve_stats(),
     }
     benches = snapshot["benches"]
     cached = benches.get("test_perf_full_traceroute")

@@ -1,0 +1,297 @@
+#!/usr/bin/env python
+"""Serve soak harness: many tenants, few snapshots, hard invariants.
+
+Drives the :mod:`repro.serve` campaign server the way CI and release
+gates need it driven:
+
+1. **Snapshot sharing** — N tenants spread over M topology seeds must
+   trigger exactly M ``internet_build`` renders; every other attach is
+   a registry hit (asserted from the server's registry stats);
+2. **Bit-identity** (``--verify-standalone``) — for one tenant per
+   distinct topology, the served result must equal the standalone
+   orchestrator's field-by-field: traces, pings, candidate pairs,
+   revelations, probe totals, and the measurement-plane counters
+   (``measurement_counters``, the execution-invariant namespace);
+3. **Graceful drain** (``--sigterm-after``) — a SIGTERM mid-soak must
+   cancel only still-queued sessions, let active campaigns finish
+   cleanly, and exit 0 with a drain summary (the systemd/k8s stop
+   contract);
+4. **Fairness sanity** (``--weights``) — with unequal weights the
+   scheduler's grant snapshot must order virtual times consistently
+   (the fine-grained ratio assertions live in
+   ``tests/test_serve_fairness.py``).
+
+Results land in ``--json`` as a single summary document; the combined
+tenant-tagged event stream goes to ``--events-out`` with a final
+``serve.metrics`` record appended.  Exit status is non-zero when any
+invariant fails.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_soak.py --tenants 8 \
+        --snapshots 2 --verify-standalone [--sigterm-after 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.obs import JsonlSink, measurement_counters  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ServeClient,
+    TenantSpec,
+    TopologySpec,
+    run_standalone,
+    topology_key,
+)
+
+
+def parse_args(argv=None):
+    """The soak harness command line."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument(
+        "--snapshots", type=int, default=2,
+        help="distinct topology seeds (each rendered once, shared)",
+    )
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--vantage-points", type=int, default=3)
+    parser.add_argument("--stubs-per-transit", type=int, default=2)
+    parser.add_argument("--max-targets", type=int, default=6)
+    parser.add_argument("--max-active", type=int, default=4)
+    parser.add_argument(
+        "--weights", default=None,
+        help="comma-separated scheduler weights cycled over tenants",
+    )
+    parser.add_argument("--probe-budget", type=int, default=None)
+    parser.add_argument("--fault-profile", default=None)
+    parser.add_argument(
+        "--verify-standalone", action="store_true",
+        help="assert served results are byte-identical to the "
+        "standalone orchestrator (one tenant per distinct topology)",
+    )
+    parser.add_argument(
+        "--sigterm-after", type=float, default=None, metavar="SECONDS",
+        help="send SIGTERM to this process after SECONDS and assert "
+        "the drain contract (queued cancelled, active finish, exit 0)",
+    )
+    parser.add_argument(
+        "--sigterm-after-completed", type=int, default=None,
+        metavar="K",
+        help="deterministic drain trigger: SIGTERM once K sessions "
+        "have completed (race-free flavour of --sigterm-after for CI)",
+    )
+    parser.add_argument("--events-out", default=None)
+    parser.add_argument("--json", default=None)
+    return parser.parse_args(argv)
+
+
+def tenant_specs(args):
+    """The soak's tenant fleet, spread round-robin over snapshots."""
+    weights = [1.0] * args.tenants
+    if args.weights:
+        cycle = [float(w) for w in args.weights.split(",")]
+        weights = [cycle[i % len(cycle)] for i in range(args.tenants)]
+    specs = []
+    for index in range(args.tenants):
+        specs.append(
+            TenantSpec(
+                tenant=f"soak-{index:02d}",
+                topology=TopologySpec(
+                    scale=args.scale,
+                    seed=args.seed + index % args.snapshots,
+                    vantage_points=args.vantage_points,
+                    stubs_per_transit=args.stubs_per_transit,
+                ),
+                weight=weights[index],
+                probe_budget=args.probe_budget,
+                fault_profile=args.fault_profile,
+                max_targets=args.max_targets,
+            )
+        )
+    return specs
+
+
+def result_fingerprint(result, counters):
+    """The comparable shape of a campaign outcome."""
+    return {
+        "traces": result.traces,
+        "pings": result.pings,
+        "pairs": result.pairs,
+        "revelations": result.revelations,
+        "probes_sent": result.probes_sent,
+        "partial": result.partial,
+        "counters": measurement_counters(counters),
+    }
+
+
+def verify_standalone(handles, failures):
+    """Bit-identity check: one served tenant per distinct topology."""
+    seen = set()
+    verified = 0
+    for handle in handles:
+        session = handle.session
+        if session.status != "done" or session.result is None:
+            continue
+        key = topology_key(handle.spec.topology)
+        if key in seen:
+            continue
+        seen.add(key)
+        expected, metrics = run_standalone(handle.spec)
+        served = result_fingerprint(
+            session.result, session.metrics.counters_snapshot()
+        )
+        standalone = result_fingerprint(
+            expected, metrics.counters_snapshot()
+        )
+        for field in served:
+            if served[field] != standalone[field]:
+                failures.append(
+                    f"{handle.spec.tenant}: served {field} diverges "
+                    "from the standalone orchestrator"
+                )
+        verified += 1
+    return verified
+
+
+def main(argv=None):
+    """Run the soak; returns the process exit code."""
+    args = parse_args(argv)
+    failures = []
+    sink = JsonlSink(args.events_out) if args.events_out else None
+    client = ServeClient(
+        max_active=args.max_active, stream_sink=sink
+    )
+    drained = {"requested": False}
+    timer = None
+    want_drain = (
+        args.sigterm_after is not None
+        or args.sigterm_after_completed is not None
+    )
+    if want_drain:
+        def on_sigterm(_signum, _frame):
+            drained["requested"] = True
+            client.request_drain(cancel_queued=True)
+
+        signal.signal(signal.SIGTERM, on_sigterm)
+    if args.sigterm_after is not None:
+        timer = threading.Timer(
+            args.sigterm_after,
+            lambda: os.kill(os.getpid(), signal.SIGTERM),
+        )
+        timer.start()
+
+    handles = [client.submit(spec) for spec in tenant_specs(args)]
+    completed, cancelled = 0, 0
+    for handle in handles:
+        try:
+            handle.wait(timeout=600)
+            completed += 1
+        except BaseException as exc:
+            if handle.status == "cancelled":
+                cancelled += 1
+            else:
+                failures.append(
+                    f"{handle.spec.tenant}: {handle.status}: {exc!r}"
+                )
+        if (
+            args.sigterm_after_completed is not None
+            and completed == args.sigterm_after_completed
+            and not drained["requested"]
+        ):
+            # Delivered synchronously: CPython runs the handler in
+            # the main thread before the next wait.
+            os.kill(os.getpid(), signal.SIGTERM)
+    if timer is not None:
+        timer.cancel()
+
+    stats = client.stats()
+    registry = stats["registry"]
+    distinct = len({
+        topology_key(handle.spec.topology) for handle in handles
+    })
+    started = {
+        handle for handle in handles if handle.status != "cancelled"
+    }
+    started_keys = len({
+        topology_key(handle.spec.topology) for handle in started
+    })
+    if registry["renders"] > distinct:
+        failures.append(
+            f"registry rendered {registry['renders']} topologies for "
+            f"{distinct} distinct keys (sharing is broken)"
+        )
+    if registry["renders"] < started_keys:
+        failures.append(
+            f"registry rendered {registry['renders']} topologies but "
+            f"{started_keys} keys actually ran"
+        )
+    expected_attaches = len(started)
+    if registry["attaches"] != expected_attaches:
+        failures.append(
+            f"registry saw {registry['attaches']} attaches for "
+            f"{expected_attaches} started sessions"
+        )
+    if drained["requested"]:
+        if not stats["draining"]:
+            failures.append("SIGTERM did not put the server in drain")
+        if completed + cancelled != len(handles):
+            failures.append(
+                f"drain lost sessions: {completed} completed + "
+                f"{cancelled} cancelled != {len(handles)}"
+            )
+    elif completed != len(handles):
+        failures.append(
+            f"only {completed}/{len(handles)} sessions completed"
+        )
+
+    verified = 0
+    if args.verify_standalone:
+        verified = verify_standalone(handles, failures)
+        if verified == 0:
+            failures.append("verify-standalone had nothing to verify")
+
+    summary = {
+        "tenants": len(handles),
+        "completed": completed,
+        "cancelled": cancelled,
+        "drain_requested": drained["requested"],
+        "verified_standalone": verified,
+        "registry": registry,
+        "scheduler": stats["scheduler"],
+        "failures": failures,
+    }
+    if sink is not None:
+        sink.write({"kind": "serve.metrics", "summary": summary})
+    client.close()
+    if sink is not None:
+        sink.close()
+
+    print(
+        f"serve soak: {completed} completed, {cancelled} cancelled, "
+        f"{registry['renders']} renders for {distinct} keys, "
+        f"{registry['builds_avoided']} builds avoided, "
+        f"{verified} verified vs standalone"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=1, default=str)
+        print(f"summary written to {args.json}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,10 +74,18 @@ def summarize(records: Iterable[dict]) -> dict:
     faults = Counter()
     flaps = Counter()
     quarantine = Counter()
+    tenant_events: Dict[str, int] = Counter()
+    tenant_probes: Dict[str, int] = Counter()
+    serve_summary: dict = {}
     current_phase = "(outside)"
 
     for record in records:
         kind = record.get("kind")
+        tenant = record.get("tenant")
+        if tenant is not None:
+            tenant_events[str(tenant)] += 1
+            if kind == "probe.sent":
+                tenant_probes[str(tenant)] += 1
         if kind == "phase.start":
             current_phase = str(record.get("phase"))
         elif kind == "phase.end":
@@ -111,6 +119,8 @@ def summarize(records: Iterable[dict]) -> dict:
             )
         elif kind == "campaign.metrics":
             counters = dict(record.get("counters") or {})
+        elif kind == "serve.metrics":
+            serve_summary = dict(record.get("summary") or {})
 
     hits, misses = cache["hits"], cache["misses"]
     if hits + misses == 0 and counters:
@@ -142,6 +152,9 @@ def summarize(records: Iterable[dict]) -> dict:
         "flaps": dict(flaps),
         "quarantine": dict(quarantine),
         "counters": counters,
+        "tenant_events": dict(tenant_events),
+        "tenant_probes": dict(tenant_probes),
+        "serve": serve_summary,
     }
 
 
@@ -223,6 +236,49 @@ def render(summary: dict) -> str:
             )
         for name, value in sorted(chaos_counters.items()):
             lines.append(f"  {name:<28s} {value:>6d}")
+        lines.append("")
+
+    serve = summary["serve"]
+    tenant_events = summary["tenant_events"]
+    serve_counters = {
+        name: value
+        for name, value in summary["counters"].items()
+        if name.startswith("serve.")
+    }
+    if serve or tenant_events or serve_counters:
+        lines.append("## Serve")
+        registry = serve.get("registry") or {}
+        if registry:
+            lines.append(
+                f"  snapshots: {registry.get('renders', 0)} rendered, "
+                f"{registry.get('builds_avoided', 0)} builds avoided "
+                f"(~{registry.get('saved_ms', 0)} ms saved)"
+            )
+        if "completed" in serve or "cancelled" in serve:
+            lines.append(
+                f"  sessions: {serve.get('completed', 0)} completed, "
+                f"{serve.get('cancelled', 0)} cancelled"
+            )
+        for name, value in sorted(serve_counters.items()):
+            lines.append(f"  {name:<28s} {value:>8d}")
+        scheduler = serve.get("scheduler") or {}
+        for tenant in sorted(set(tenant_events) | set(scheduler)):
+            lane = scheduler.get(tenant) or {}
+            parts = [f"  tenant {tenant:<12s}"]
+            if lane:
+                parts.append(
+                    f"weight {lane.get('weight', 1.0):<5g} "
+                    f"{lane.get('granted_batches', 0):>6d} batches "
+                    f"{lane.get('granted_probes', 0):>7d} probes granted"
+                )
+            events = tenant_events.get(tenant)
+            if events:
+                probes = summary["tenant_probes"].get(tenant, 0)
+                parts.append(
+                    f"  {events:>6d} events"
+                    + (f" {probes:>6d} probes" if probes else "")
+                )
+            lines.append(" ".join(parts))
         lines.append("")
 
     spans = summary["spans"]
