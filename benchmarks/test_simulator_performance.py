@@ -38,6 +38,20 @@ def internet_compiled():
     )
 
 
+@pytest.fixture(scope="module")
+def internet_te():
+    """RSVP-TE tunnels installed, probing through the compiled plane."""
+    return build_internet(
+        InternetConfig(
+            seed=77,
+            trajectory_cache=False,
+            compiled_plane=True,
+            probe_batch_window=8,
+            te_tunnels_per_transit=2,
+        )
+    )
+
+
 def test_perf_single_probe_testbed(benchmark):
     testbed = build_gns3("backward-recursive")
     dst = testbed.address("CE2.left")
@@ -92,6 +106,35 @@ def test_perf_full_traceroute_compiled(benchmark, internet_compiled):
     internet = internet_compiled
     vp = internet.vps[0]
     dst = internet.campaign_targets()[0]
+
+    def trace():
+        return internet.prober.traceroute(vp, dst, start_ttl=2)
+
+    result = benchmark(trace)
+    assert result.hops
+
+
+def test_perf_full_traceroute_te(benchmark, internet_te):
+    """The compiled-plane trace again, but steered through an RSVP-TE
+    explicit path: the flow is chosen so the head-end pushes the TE
+    label and every hop walks ``_te_step`` instead of the LDP path."""
+    internet = internet_te
+    te_paths = [tunnel.path for tunnel in internet.te_tunnels]
+
+    def rides(vp, dst):
+        path = tuple(internet.true_forward_path(vp, dst))
+        return any(
+            path[start:start + len(te_path)] == te_path
+            for te_path in te_paths
+            for start in range(len(path) - len(te_path) + 1)
+        )
+
+    vp, dst = next(
+        (vp, dst)
+        for vp in internet.vps
+        for dst in internet.campaign_targets()
+        if rides(vp, dst)
+    )
 
     def trace():
         return internet.prober.traceroute(vp, dst, start_ttl=2)

@@ -18,6 +18,7 @@ from enum import Enum
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.revelation import Revelation
+from repro.core.technique import TechniqueRegistry, default_techniques
 from repro.net.router import Router
 from repro.probing.prober import Prober, Trace
 
@@ -86,15 +87,35 @@ class CrossValResult:
         return {label: count / total for label, count in shares.items()}
 
 
+def _null_terminated(run: List) -> bool:
+    """True when the run's last hop quoted an explicit-null label.
+
+    The RFC 4950 signature of a UHP tail: the dec-TTL happens before
+    the pop, so the tail's time-exceeded quotes label 0 — the run
+    covers the whole LSP *including* its egress LER.
+    """
+    return any(label == 0 for label, _ in run[-1].quoted_labels)
+
+
 def extract_explicit_tunnels(
     traces: Iterable[Trace],
     asn_of: Callable[[int], Optional[int]],
+    include_uhp_null: bool = False,
 ) -> List[ExplicitTunnel]:
     """Find fully revealed LSPs: label runs flanked by same-AS LERs.
 
     A tunnel counts only when its LSR hops are contiguous (no
     anonymous gaps) and both flanking LERs map to the same AS — the
     paper's selection rule.
+
+    With ``include_uhp_null`` a run whose *last* hop quotes the
+    explicit-null label is also accepted when that hop shares the
+    ingress AS: under UHP the egress LER itself answers with label 0
+    still on the stack, so the LER is the run's final hop and the
+    next unlabelled hop may already sit in a neighbour AS (the
+    signature RSVP-TE tunnels ending at an AS-exit PE produce).  The
+    paper's rule drops these outright, so the default stays off and
+    Table 3 is unchanged.
     """
     tunnels: List[ExplicitTunnel] = []
     seen: set = set()
@@ -109,17 +130,35 @@ def extract_explicit_tunnels(
             while index < len(hops) and hops[index].has_labels:
                 index += 1
             run_end = index  # first unlabelled hop after the run
-            if run_start == 0 or run_end >= len(hops):
+            if run_start == 0:
                 continue
             ingress_hop = hops[run_start - 1]
-            egress_hop = hops[run_end]
             run = hops[run_start:run_end]
-            # Contiguity: every TTL present from ingress to egress.
-            ttls = [hop.probe_ttl for hop in hops[run_start - 1 : run_end + 1]]
-            if ttls != list(range(ttls[0], ttls[0] + len(ttls))):
-                continue
             asn = asn_of(ingress_hop.address)
-            if asn is None or asn != asn_of(egress_hop.address):
+            if asn is None:
+                continue
+            egress_hop = None
+            lsrs = run
+            if (
+                run_end < len(hops)
+                and asn == asn_of(hops[run_end].address)
+            ):
+                egress_hop = hops[run_end]
+            elif (
+                include_uhp_null
+                and len(run) >= 2
+                and _null_terminated(run)
+                and asn == asn_of(run[-1].address)
+            ):
+                # UHP: the null-quoting last hop *is* the egress LER.
+                egress_hop = run[-1]
+                lsrs = run[:-1]
+            if egress_hop is None:
+                continue
+            # Contiguity: every TTL present from ingress to egress.
+            span = hops[run_start - 1 : run_start - 1 + len(lsrs) + 2]
+            ttls = [hop.probe_ttl for hop in span]
+            if ttls != list(range(ttls[0], ttls[0] + len(ttls))):
                 continue
             key = (ingress_hop.address, egress_hop.address)
             if key in seen:
@@ -131,7 +170,7 @@ def extract_explicit_tunnels(
                     ingress=ingress_hop.address,
                     egress=egress_hop.address,
                     asn=asn,
-                    lsrs=tuple(hop.address for hop in run),
+                    lsrs=tuple(hop.address for hop in lsrs),
                 )
             )
     return tunnels
@@ -143,6 +182,7 @@ def cross_validate(
     tunnels: Iterable[ExplicitTunnel],
     max_steps: int = 12,
     start_ttl: int = 1,
+    techniques: Optional[TechniqueRegistry] = None,
 ) -> CrossValResult:
     """Re-run DPR then BRPR against explicit tunnels (Sec. 3.3).
 
@@ -153,13 +193,19 @@ def cross_validate(
       and cover the tunnel;
     * a one-LSR tunnel revealed either way is indistinguishable
       ("DPR or BRPR"); partial coverage by both is "hybrid".
+
+    The revelation primitives come from ``techniques`` (the shipped
+    registry when omitted) — its ``dpr``/``brpr`` entries supply the
+    actual probing callables.
     """
+    if techniques is None:
+        techniques = default_techniques()
     result = CrossValResult()
     for tunnel in tunnels:
         vp = vp_by_name[tunnel.vp]
         key = (tunnel.ingress, tunnel.egress)
         result.outcomes[key] = _run_one(
-            prober, vp, tunnel, max_steps, start_ttl
+            prober, vp, tunnel, max_steps, start_ttl, techniques
         )
     return result
 
@@ -170,9 +216,10 @@ def _run_one(
     tunnel: ExplicitTunnel,
     max_steps: int,
     start_ttl: int,
+    techniques: TechniqueRegistry,
 ) -> CrossValOutcome:
-    from repro.core.brpr import backward_recursive_revelation
-    from repro.core.dpr import direct_path_revelation
+    direct_path_revelation = techniques.get("dpr").primitive
+    backward_recursive_revelation = techniques.get("brpr").primitive
 
     expected = len(tunnel.lsrs)
     dpr = direct_path_revelation(

@@ -13,16 +13,22 @@ results when the measurement plane misbehaves (see
   deltas into the ``data_quality`` annotation carried by
   :class:`~repro.campaign.orchestrator.CampaignResult`, reports, and
   the ``repro.store.diff/1`` document: an overall grade, a confidence
-  score, per-technique confidence (FRPLA/RTLA/DPR/BRPR), and per-AS
-  breakdowns, so downstream consumers can tell a clean run's numbers
-  from ones measured through loss, quarantine, and rate limiting.
+  score, per-technique confidence enumerated from the technique
+  registry (see :mod:`repro.core.technique`), and per-AS breakdowns,
+  so downstream consumers can tell a clean run's numbers from ones
+  measured through loss, quarantine, and rate limiting.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Set
 
-from repro.core.revelation import RevelationMethod
+from repro.core.technique import (
+    BRPR_METHODS,
+    DPR_METHODS,
+    TechniqueRegistry,
+    default_techniques,
+)
 
 __all__ = [
     "DATA_QUALITY_SCHEMA",
@@ -33,19 +39,10 @@ __all__ = [
 #: Schema tag on every ``data_quality`` document.
 DATA_QUALITY_SCHEMA = "repro.quality/1"
 
-#: Revelation methods that exercised the DPR side of the recursion.
-_DPR_METHODS = frozenset((
-    RevelationMethod.DPR,
-    RevelationMethod.DPR_OR_BRPR,
-    RevelationMethod.HYBRID,
-))
-
-#: Revelation methods that exercised the BRPR side.
-_BRPR_METHODS = frozenset((
-    RevelationMethod.BRPR,
-    RevelationMethod.DPR_OR_BRPR,
-    RevelationMethod.HYBRID,
-))
+#: Backward-compatible aliases (the method sets now live with the
+#: technique registry, next to the confidence scorers that use them).
+_DPR_METHODS = DPR_METHODS
+_BRPR_METHODS = BRPR_METHODS
 
 
 class CircuitBreaker:
@@ -99,6 +96,7 @@ def _grade(confidence: float) -> str:
 def assess_data_quality(
     result,
     deltas: Mapping[str, int],
+    techniques: Optional[TechniqueRegistry] = None,
 ) -> Dict[str, object]:
     """Grade one campaign run's measurements.
 
@@ -106,10 +104,15 @@ def assess_data_quality(
     holds this run's measurement counter deltas (probes sent, timeout
     replies, quarantined replies, injected faults, retries); the
     per-AS breakdown uses the AS each candidate pair was extracted
-    from.  The returned
+    from.  ``techniques`` supplies the per-technique confidence
+    scorers (the shipped registry when omitted), so the ``techniques``
+    section enumerates whatever is registered instead of a hardcoded
+    name list.  The returned
     document is JSON-ready and deterministic (sorted keys, rounded
     floats) so it checkpoints and diffs cleanly.
     """
+    if techniques is None:
+        techniques = default_techniques()
     probes = int(deltas.get("measure.probes", 0))
     timeouts = int(deltas.get("probe.reply.none", 0))
     quarantined = int(deltas.get("measure.quarantined", 0))
@@ -121,26 +124,13 @@ def assess_data_quality(
         0.0, min(1.0, response_rate * (1.0 - quarantine_rate))
     )
 
-    # Per-technique confidence: the fraction of each technique's
-    # inputs that arrived intact.
-    traces = result.traces
-    reached = sum(1 for t in traces if t.destination_reached)
-    frpla_conf = reached / len(traces) if traces else 1.0
-    pings = list(result.pings.values())
-    responsive = sum(1 for p in pings if p.responded)
-    rtla_conf = responsive / len(pings) if pings else 1.0
-
-    def _revelation_conf(methods) -> float:
-        relevant = [
-            r for r in result.revelations.values()
-            if r.method in methods
-        ]
-        if not relevant:
-            return 1.0
-        complete = sum(
-            1 for r in relevant if getattr(r, "complete", True)
-        )
-        return complete / len(relevant)
+    # Per-technique confidence: each registered technique scores the
+    # fraction of its inputs that arrived intact (registration order
+    # is preserved so reports and diffs stay stable).
+    technique_confidence = {
+        name: round(score, 4)
+        for name, score in techniques.confidences(result).items()
+    }
 
     # Per-AS breakdown over the candidate pairs: how well did
     # revelation and fingerprinting do inside each suspicious AS?
@@ -201,11 +191,6 @@ def assess_data_quality(
                 deltas.get("campaign.pings_parked", 0)
             ),
         },
-        "techniques": {
-            "frpla": round(frpla_conf, 4),
-            "rtla": round(rtla_conf, 4),
-            "dpr": round(_revelation_conf(_DPR_METHODS), 4),
-            "brpr": round(_revelation_conf(_BRPR_METHODS), 4),
-        },
+        "techniques": technique_confidence,
         "per_as": per_as,
     }

@@ -54,6 +54,11 @@ from repro.core.revelation import (
 )
 from repro.core.rtla import RtlaAnalyzer
 from repro.core.signatures import SignatureInventory
+from repro.core.technique import (
+    TechniqueRegistry,
+    TriggerContext,
+    default_techniques,
+)
 from repro.measure.service import BudgetExceeded
 from repro.net.router import Router
 from repro.obs import EventLog, MetricsRegistry, Obs, Tracer
@@ -152,7 +157,8 @@ class CampaignConfig:
     #: (``CampaignResult.partial``).
     probe_budget: Optional[int] = None
     #: Per-scope probe budgets as (scope, limit) pairs — scopes are
-    #: the phase names plus "revelation"/"dpr"/"brpr".
+    #: the phase names plus the technique registry's scopes
+    #: ("revelation"/"dpr"/"brpr", "tnt" for the TNT pipeline).
     scope_budgets: Optional[Tuple[Tuple[str, int], ...]] = None
     #: Retries per probe on timeout (``*`` hops), applied by the
     #: measurement service.
@@ -171,6 +177,14 @@ class CampaignConfig:
     #: parks a target (revisited once at phase end); None disables
     #: parking.
     breaker_threshold: Optional[int] = None
+    #: Registry name of the revelation technique driving the
+    #: revelation phase.  None keeps the classic behaviour — the
+    #: untriggered combined DPR/BRPR recursion on every candidate
+    #: pair.  A named technique (e.g. ``"tnt"``) runs its trigger on
+    #: each pair first and only reveals the pairs that fire; skipped
+    #: pairs get an empty, technique-stamped revelation so checkpoint
+    #: indices stay aligned with the pair list.
+    revelation_technique: Optional[str] = None
 
 
 @dataclass
@@ -336,6 +350,7 @@ class Campaign:
         vantage_points: Sequence[Router],
         asn_of: Callable[[int], Optional[int]],
         config: Optional[CampaignConfig] = None,
+        techniques: Optional[TechniqueRegistry] = None,
     ) -> None:
         if not vantage_points:
             raise ValueError("campaign needs at least one vantage point")
@@ -343,6 +358,18 @@ class Campaign:
         self.vps = list(vantage_points)
         self.asn_of = asn_of
         self.config = config or CampaignConfig()
+        #: The technique registry everything per-technique routes
+        #: through: revelation dispatch, degrade grading, analyzers.
+        self.techniques = (
+            techniques if techniques is not None else default_techniques()
+        )
+        name = self.config.revelation_technique
+        if name is not None:
+            technique = self.techniques.get(name)  # raises on unknown
+            if technique.reveal is None:
+                raise ValueError(
+                    f"technique {name!r} has no revelation strategy"
+                )
         self._vp_by_name = {vp.name: vp for vp in self.vps}
         #: One observability bundle for the whole campaign stack —
         #: shared with the prober/engine when they have one, so every
@@ -503,7 +530,7 @@ class Campaign:
             for name in _QUALITY_COUNTERS
         }
         result.data_quality = assess_data_quality(
-            result, quality_deltas
+            result, quality_deltas, techniques=self.techniques
         )
         result.perf.retries = quality_deltas["measure.retries"]
         result.perf.retries_exhausted = quality_deltas[
@@ -760,7 +787,12 @@ class Campaign:
     def revelation_phase(
         self, result: CampaignResult, checkpoint=None
     ) -> None:
-        """Run the DPR/BRPR recursion on every candidate pair."""
+        """Run the configured revelation strategy on every pair.
+
+        The classic campaign (``revelation_technique=None``) runs the
+        combined DPR/BRPR recursion unconditionally; a named registry
+        technique gates each pair on its trigger first.
+        """
         self._reveal_pairs(result, checkpoint)
 
     def _reveal_pairs(
@@ -787,21 +819,63 @@ class Campaign:
                         result.pings[address] = ping
                         result.inventory.observe_ping(ping)
                         result.rtla.add_ping(ping)
+        technique_name = self.config.revelation_technique
+        technique = (
+            self.techniques.get(technique_name)
+            if technique_name is not None
+            else None
+        )
+        metrics = self.obs.metrics
         before = self.prober.probes_sent
         try:
             for index, pair in enumerate(result.pairs):
                 if index < restored:
                     continue
                 vp = self._vp_by_name[pair.vp]
-                try:
-                    revelation = reveal_tunnel(
-                        self.prober,
-                        vp,
-                        ingress=pair.ingress,
-                        egress=pair.egress,
-                        max_steps=self.config.max_revelation_steps,
-                        start_ttl=self.config.start_ttl,
+                if technique is not None and technique.trigger is not None:
+                    context = TriggerContext(
+                        pair=pair, result=result, config=self.config
                     )
+                    if not technique.trigger(context):
+                        # Untriggered: record an empty, stamped
+                        # revelation so checkpoint indices stay
+                        # aligned with the pair list.
+                        metrics.inc(
+                            f"technique.{technique_name}.skipped"
+                        )
+                        revelation = Revelation(
+                            ingress=pair.ingress,
+                            egress=pair.egress,
+                            technique=technique_name,
+                        )
+                        result.revelations[
+                            (pair.ingress, pair.egress)
+                        ] = revelation
+                        if checkpoint is not None:
+                            checkpoint.record_revelation(
+                                index, revelation, []
+                            )
+                        continue
+                    metrics.inc(f"technique.{technique_name}.triggered")
+                try:
+                    if technique is not None:
+                        revelation = technique.reveal(
+                            self.prober,
+                            vp,
+                            ingress=pair.ingress,
+                            egress=pair.egress,
+                            max_steps=self.config.max_revelation_steps,
+                            start_ttl=self.config.start_ttl,
+                        )
+                    else:
+                        revelation = reveal_tunnel(
+                            self.prober,
+                            vp,
+                            ingress=pair.ingress,
+                            egress=pair.egress,
+                            max_steps=self.config.max_revelation_steps,
+                            start_ttl=self.config.start_ttl,
+                        )
                 except BudgetExceeded as exc:
                     # Keep what the aborted recursion did reveal,
                     # flagged incomplete.  The pair is deliberately
@@ -978,8 +1052,17 @@ class Campaign:
         result: CampaignResult,
         classify: Optional[Callable[[int], str]] = None,
     ) -> FrplaAnalyzer:
-        """Build an FRPLA analyzer over the campaign's traces."""
-        analyzer = FrplaAnalyzer(self.asn_of, classify, obs=self.obs)
+        """Build an FRPLA analyzer over the campaign's traces.
+
+        The factory comes from the technique registry when it carries
+        an ``frpla`` entry, so a swapped-in analyzer implementation
+        rides the same campaign plumbing.
+        """
+        if "frpla" in self.techniques:
+            make = self.techniques.get("frpla").make_analyzer
+            analyzer = make(self.asn_of, classify, obs=self.obs)
+        else:
+            analyzer = FrplaAnalyzer(self.asn_of, classify, obs=self.obs)
         analyzer.add_traces(result.traces)
         return analyzer
 

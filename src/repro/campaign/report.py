@@ -129,14 +129,11 @@ def render_report(
             ("retries exhausted", counters.get("retries_exhausted", 0)),
             ("pings parked", counters.get("pings_parked", 0)),
         ]
-        for technique in ("frpla", "rtla", "dpr", "brpr"):
-            if technique in techniques:
-                quality_rows.append(
-                    (
-                        f"{technique} confidence",
-                        techniques[technique],
-                    )
-                )
+        # Whatever the technique registry graded, in its order —
+        # nothing hardcoded, so new registry entrants show up here
+        # (and in ``result.json``) automatically.
+        for technique, score in techniques.items():
+            quality_rows.append((f"{technique} confidence", score))
         lines.append(format_table(["metric", "value"], quality_rows))
         lines.append("")
 

@@ -49,6 +49,7 @@ from repro.experiments import (
     table4_per_as,
     table5_deployment,
     table6_applicability,
+    tnt_crossval,
 )
 from repro.experiments.common import ContextConfig, campaign_context
 from repro.synth.gns3 import SCENARIOS, build_gns3
@@ -72,6 +73,7 @@ EXPERIMENTS: Dict[str, object] = {
     "table4": table4_per_as,
     "table5": table5_deployment,
     "table6": table6_applicability,
+    "tnt": tnt_crossval,
     "graphs": graph_summary,
 }
 
@@ -182,6 +184,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="regenerate one table/figure"
     )
     experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the experiment's structured document as "
+        "JSON (experiments without one fail with an error)",
+    )
+    experiment.add_argument(
+        "--scale", type=float, default=None,
+        help="AS size multiplier for context-driven experiments "
+        "(those whose run() takes a ContextConfig)",
+    )
+    experiment.add_argument(
+        "--seed", type=int, default=None,
+        help="topology seed for context-driven experiments",
+    )
+    experiment.add_argument(
+        "--vantage-points", type=int, default=None,
+        help="vantage point count for context-driven experiments",
+    )
+    experiment.add_argument(
+        "--stubs-per-transit", type=int, default=None,
+        help="stub AS fan-out for context-driven experiments",
+    )
 
     diff = sub.add_parser(
         "diff",
@@ -466,7 +490,45 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module = EXPERIMENTS[args.id]
-    print(module.run().text)
+    overrides = {
+        key: value
+        for key, value in (
+            ("scale", args.scale),
+            ("seed", args.seed),
+            ("vantage_points", args.vantage_points),
+            ("stubs_per_transit", args.stubs_per_transit),
+        )
+        if value is not None
+    }
+    if overrides:
+        import inspect
+
+        if "config" not in inspect.signature(module.run).parameters:
+            print(
+                f"error: experiment {args.id!r} takes no context "
+                "overrides",
+                file=sys.stderr,
+            )
+            return 2
+        result = module.run(ContextConfig(**overrides))
+    else:
+        result = module.run()
+    print(result.text)
+    if args.json:
+        document = getattr(result, "document", None)
+        if document is None:
+            print(
+                f"error: experiment {args.id!r} has no structured "
+                "document",
+                file=sys.stderr,
+            )
+            return 2
+        import json
+
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(document, indent=1))
+        print(f"document written to {args.json}")
     return 0
 
 

@@ -113,6 +113,7 @@ def backward_recursive_revelation(
     """
     obs = getattr(prober, "obs", None) or Obs()
     obs.metrics.inc("brpr.attempts")
+    obs.metrics.inc("technique.brpr.attempts")
     result = BrprResult(ingress=ingress, egress=egress)
     exclude = {ingress, egress}
     target = egress
@@ -153,6 +154,10 @@ def backward_recursive_revelation(
     if result.success:
         obs.metrics.inc("brpr.success")
         obs.metrics.inc("brpr.revealed_hops", len(result.revealed))
+        obs.metrics.inc("technique.brpr.success")
+        obs.metrics.inc(
+            "technique.brpr.revealed_hops", len(result.revealed)
+        )
     if obs.events.info:
         obs.events.emit(
             "technique.verdict", technique="brpr",

@@ -63,6 +63,7 @@ def direct_path_revelation(
     """
     obs = getattr(prober, "obs", None) or Obs()
     obs.metrics.inc("dpr.attempts")
+    obs.metrics.inc("technique.dpr.attempts")
     service = getattr(prober, "service", None)
     scope = service.scope("dpr") if service is not None else nullcontext()
     with obs.tracer.span(
@@ -97,6 +98,10 @@ def direct_path_revelation(
     if result.success:
         obs.metrics.inc("dpr.success")
         obs.metrics.inc("dpr.revealed_hops", len(result.revealed))
+        obs.metrics.inc("technique.dpr.success")
+        obs.metrics.inc(
+            "technique.dpr.revealed_hops", len(result.revealed)
+        )
     if obs.events.info:
         obs.events.emit(
             "technique.verdict", technique="dpr",

@@ -94,6 +94,7 @@ class FrplaAnalyzer:
         if asn is None:
             return
         self.obs.metrics.inc("frpla.samples")
+        self.obs.metrics.inc("technique.frpla.samples")
         role = self._classify(sample.address)
         self._values.setdefault((asn, role), []).append(sample.rfa)
 

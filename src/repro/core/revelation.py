@@ -67,6 +67,9 @@ class Revelation:
     #: Incomplete revelations are kept in the campaign result and
     #: re-run whole on resume.
     complete: bool = True
+    #: Registry name of the technique that produced this revelation
+    #: ("combined" for the classic untriggered DPR/BRPR recursion).
+    technique: str = "combined"
 
     @property
     def success(self) -> bool:
@@ -133,32 +136,39 @@ def reveal_tunnel(
     egress: int,
     max_steps: int = 16,
     start_ttl: int = 1,
+    technique: str = "combined",
+    scope: str = "revelation",
 ) -> Revelation:
     """Run the Sec. 4 revelation recursion on one candidate pair.
 
     The first trace targets the egress; every newly revealed hop
     closest to the ingress becomes the next target, until a trace adds
     nothing or stops passing through the ingress.
+
+    ``technique`` names the registry entry driving the recursion (it
+    is stamped on the result and keys the ``technique.*`` counters);
+    ``scope`` is the probe-budget scope the traces charge.
     """
     obs = getattr(prober, "obs", None) or Obs()
     metrics = obs.metrics
     events = obs.events
-    revelation = Revelation(ingress=ingress, egress=egress)
+    revelation = Revelation(
+        ingress=ingress, egress=egress, technique=technique
+    )
     exclude = {ingress, egress}
     target = egress
     metrics.inc("revelation.attempts")
-    # Charge the probes below to the "revelation" budget scope when the
+    metrics.inc(f"technique.{technique}.attempts")
+    # Charge the probes below to the caller's budget scope when the
     # prober routes through a measurement service.
     service = getattr(prober, "service", None)
-    scope = (
-        service.scope("revelation")
-        if service is not None
-        else nullcontext()
+    budget_scope = (
+        service.scope(scope) if service is not None else nullcontext()
     )
     with obs.tracer.span(
         "revelation.reveal",
         vp=vantage_point.name, ingress=ingress, egress=egress,
-    ), scope:
+    ), budget_scope:
         try:
             for _ in range(max_steps):
                 trace = prober.traceroute(
@@ -192,15 +202,28 @@ def reveal_tunnel(
             revelation.complete = False
             revelation.method = _classify(revelation)
             metrics.inc("revelation.incomplete")
+            metrics.inc(f"technique.{technique}.incomplete")
             exc.partial_revelation = revelation
             raise
     revelation.method = _classify(revelation)
     metrics.inc("revelation.verdict." + revelation.method.value)
+    if revelation.success:
+        metrics.inc(f"technique.{technique}.success")
+        metrics.inc(
+            f"technique.{technique}.revealed_hops",
+            len(revelation.revealed),
+        )
     if events.info:
         events.emit(
             "revelation.verdict", ingress=ingress, egress=egress,
             method=revelation.method.value,
             revealed=len(revelation.revealed),
+        )
+        events.emit(
+            "technique.verdict", technique=technique,
+            success=revelation.success, ingress=ingress, egress=egress,
+            revealed=len(revelation.revealed),
+            method=revelation.method.value,
         )
     logger.debug(
         "revelation %d->%d: %s, %d hops over %d traces",

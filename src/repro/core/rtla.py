@@ -118,6 +118,7 @@ class RtlaAnalyzer:
                 and hop.reply_ttl is not None
             ):
                 self.obs.metrics.inc("rtla.te_observations")
+                self.obs.metrics.inc("technique.rtla.observations")
                 key = (trace.source, hop.address)
                 previous = self._te_ttl.get(key)
                 if previous is None or hop.reply_ttl > previous:
@@ -132,6 +133,7 @@ class RtlaAnalyzer:
             and result.source is not None
         ):
             self.obs.metrics.inc("rtla.er_observations")
+            self.obs.metrics.inc("technique.rtla.observations")
             key = (result.source, result.dst)
             previous = self._er_ttl.get(key)
             if previous is None or result.reply_ttl > previous:

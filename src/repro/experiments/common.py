@@ -67,6 +67,15 @@ class ContextConfig:
     compiled_plane: bool = False
     #: Traceroute TTL rounds per batch submission (1 = serial loop).
     batch_window: int = 1
+    #: RSVP-TE tunnels installed per transit AS (0 = pure-LDP paper
+    #: baseline; see :class:`repro.synth.internet.InternetConfig`).
+    te_tunnels_per_transit: int = 0
+    #: Render the TE tunnels visible (TTL propagated into the TE LSE).
+    te_ttl_propagate: bool = False
+    #: Run revelation through this registry technique's trigger and
+    #: strategy (e.g. ``"tnt"``) instead of the classic combined
+    #: recursion; None keeps the paper's untriggered behaviour.
+    revelation_technique: Optional[str] = None
 
 
 class CampaignContext:
@@ -98,6 +107,10 @@ class CampaignContext:
                     seed=config.seed,
                     compiled_plane=config.compiled_plane,
                     probe_batch_window=config.batch_window,
+                    te_tunnels_per_transit=(
+                        config.te_tunnels_per_transit
+                    ),
+                    te_ttl_propagate=config.te_ttl_propagate,
                 )
             )
         else:
@@ -115,6 +128,10 @@ class CampaignContext:
                     ttl_propagate_everywhere=(
                         config.ttl_propagate_everywhere
                     ),
+                    te_tunnels_per_transit=(
+                        config.te_tunnels_per_transit
+                    ),
+                    te_ttl_propagate=config.te_ttl_propagate,
                 ),
                 compiled_plane=config.compiled_plane,
                 batch_window=config.batch_window,
@@ -130,6 +147,7 @@ class CampaignContext:
                 probe_budget=config.probe_budget,
                 max_retries=config.max_retries,
                 breaker_threshold=config.breaker_threshold,
+                revelation_technique=config.revelation_technique,
             ),
         )
         checkpoint = self._build_checkpoint(config)
@@ -247,6 +265,30 @@ class CampaignContext:
                     {"batch_window": config.batch_window}
                     if config.fault_profile is not None
                     and config.batch_window > 1
+                    else {}
+                ),
+                # TE knobs change the rendered topology, so they key
+                # the snapshot — but only when enabled, keeping
+                # pre-TE snapshot keys valid.
+                **(
+                    {
+                        "te_tunnels_per_transit": (
+                            config.te_tunnels_per_transit
+                        ),
+                        "te_ttl_propagate": config.te_ttl_propagate,
+                    }
+                    if config.te_tunnels_per_transit
+                    else {}
+                ),
+                # A technique gates which pairs get revealed, so it
+                # changes the measured result and keys the snapshot.
+                **(
+                    {
+                        "revelation_technique": (
+                            config.revelation_technique
+                        )
+                    }
+                    if config.revelation_technique is not None
                     else {}
                 ),
             },

@@ -129,20 +129,30 @@ class LabelAllocator:
 
     def export_bindings(self, start: int = 0) -> list:
         """Bindings from allocation position ``start`` on, as
-        JSON-ready ``[router, fec_network, fec_length, label]`` rows
-        (FECs are :class:`~repro.net.addressing.Prefix` instances)."""
+        JSON-ready ``[router, fec_network, fec_length, label]`` rows.
+        LDP FECs are :class:`~repro.net.addressing.Prefix` instances;
+        RSVP-TE FECs are ``("te", tunnel_name)`` pairs and round-trip
+        as ``[router, "te", tunnel_name, label]`` rows."""
         rows = []
         for position, ((router, fec), label) in enumerate(
             self._bindings.items()
         ):
             if position < start:
                 continue
-            rows.append([router, fec.network, fec.length, label])
+            if isinstance(fec, Prefix):
+                rows.append([router, fec.network, fec.length, label])
+            else:
+                rows.append([router, *fec, label])
         return rows
 
     def import_bindings(self, rows) -> None:
         """Reinstate exported bindings, in their original order."""
         for router, network, length, label in rows:
-            self._bindings[(router, Prefix(network, length))] = label
+            fec = (
+                (network, length)
+                if network == "te"
+                else Prefix(network, length)
+            )
+            self._bindings[(router, fec)] = label
             if label >= self._next:
                 self._next = label + 1

@@ -146,6 +146,7 @@ def revelations_to_dicts(
             "step_reveals": list(revelation.step_reveals),
             "labels_seen": revelation.labels_seen,
             "complete": revelation.complete,
+            "technique": revelation.technique,
         }
         for _, revelation in sorted(revelations.items())
     ]
@@ -167,6 +168,7 @@ def revelations_from_dicts(
             step_reveals=list(item["step_reveals"]),
             labels_seen=item["labels_seen"],
             complete=item.get("complete", True),
+            technique=item.get("technique", "combined"),
         )
         revelations[(revelation.ingress, revelation.egress)] = revelation
     return revelations

@@ -129,6 +129,17 @@ class ControlPlane:
         self.te.install(tunnel, self.network)
         self._notify_invalidation()
 
+    def remove_te_tunnel(self, head: str, tail: str) -> None:
+        """Tear an RSVP-TE tunnel down (KeyError when absent).
+
+        Fires the invalidation listeners like install does: traffic
+        previously steered onto the explicit path falls back to the
+        LDP/IGP route, so memoised trajectories and compiled programs
+        must flush.
+        """
+        self.te.remove(head, tail)
+        self._notify_invalidation()
+
     # ------------------------------------------------------------------
     # Sub-plane access
 

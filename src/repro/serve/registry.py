@@ -67,9 +67,15 @@ class TopologySpec:
     vantage_points: int = 10
     stubs_per_transit: int = 6
     ttl_propagate_everywhere: bool = False
+    te_tunnels_per_transit: int = 0
+    te_ttl_propagate: bool = False
 
     def descriptor(self) -> Dict[str, object]:
-        """The JSON-ready topology descriptor (checkpoint-compatible)."""
+        """The JSON-ready topology descriptor (checkpoint-compatible).
+
+        TE fields are stamped only when non-default so every pre-TE
+        key (and stored checkpoint descriptor) stays valid.
+        """
         return {
             "kind": "synthetic-internet",
             "scale": self.scale,
@@ -77,6 +83,14 @@ class TopologySpec:
             "vantage_points": self.vantage_points,
             "stubs_per_transit": self.stubs_per_transit,
             "ttl_propagate_everywhere": self.ttl_propagate_everywhere,
+            **(
+                {
+                    "te_tunnels_per_transit": self.te_tunnels_per_transit,
+                    "te_ttl_propagate": self.te_ttl_propagate,
+                }
+                if self.te_tunnels_per_transit
+                else {}
+            ),
         }
 
 
@@ -111,6 +125,8 @@ def render_internet(spec: TopologySpec) -> SyntheticInternet:
             vantage_points=spec.vantage_points,
             stubs_per_transit=spec.stubs_per_transit,
             seed=spec.seed,
+            te_tunnels_per_transit=spec.te_tunnels_per_transit,
+            te_ttl_propagate=spec.te_ttl_propagate,
         )
     )
 

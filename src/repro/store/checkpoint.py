@@ -548,6 +548,9 @@ def result_document(
                 "asn": asn_of_pair.get((ingress, egress)),
                 "length": revelation.tunnel_length,
                 "method": revelation.method.value,
+                "technique": getattr(
+                    revelation, "technique", "combined"
+                ),
                 "revealed": list(revelation.revealed),
             }
         )

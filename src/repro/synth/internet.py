@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.dataplane.engine import ForwardingEngine
 from repro.measure import SimBackend
 from repro.mpls.config import MplsConfig, PoppingMode
+from repro.mpls.rsvp import TeTunnel
 from repro.net.router import Router
 from repro.net.topology import Network
 from repro.net.vendors import (
@@ -77,6 +78,16 @@ class InternetConfig:
     #: Traceroute TTL rounds the prober submits per batch (1 = the
     #: serial probe-per-probe loop).
     probe_batch_window: int = 1
+    #: RSVP-TE tunnels to install per transit AS (0 = pure LDP, the
+    #: paper's baseline).  Each tunnel pins an explicit core detour
+    #: from a backbone PE to a customer-facing PE, steering transit
+    #: traffic off the IGP shortest path (UHP, per the survey's note
+    #: that UHP accompanies sophisticated traffic engineering).
+    te_tunnels_per_transit: int = 0
+    #: Copy the IP-TTL into the TE LSE at tunnel heads (True renders
+    #: the TE tunnels *visible* to traceroute, for cross-validation
+    #: ground truth; False is the invisible production default).
+    te_ttl_propagate: bool = False
 
 
 class SyntheticInternet:
@@ -110,6 +121,9 @@ class SyntheticInternet:
         #: replies from customer PEs re-cross the core (and its return
         #: tunnels) instead of short-cutting out, as Sec. 5.3 assumes.
         self.backbone_pes: Dict[int, set] = {}
+        #: Installed RSVP-TE tunnels, in install order (ground truth
+        #: for the TNT cross-validation).
+        self.te_tunnels: List[TeTunnel] = []
         self._rng = random.Random(config.seed)
 
     def customer_edge_routers(self, asn: int) -> List[Router]:
@@ -278,6 +292,7 @@ def build_internet(
     _build_stubs(internet)
     _pick_vantage_points(internet)
     _silence_some_routers(internet)
+    _install_te_tunnels(internet)
     internet.network.validate()
     # The control plane snapshotted an empty topology at construction;
     # re-derive adjacency and drop memoised routes now that the
@@ -475,6 +490,99 @@ def _silence_some_routers(internet: SyntheticInternet) -> None:
         for router in internet.core_routers(asn):
             if rng.random() < share:
                 router.icmp_enabled = False
+
+
+def _te_path(
+    rng: random.Random,
+    head: Router,
+    tail: Router,
+    max_len: int = 8,
+) -> Optional[List[Router]]:
+    """A seeded explicit intra-AS path from ``head`` to ``tail``.
+
+    Randomised DFS over the AS adjacency, visiting core (P) routers
+    before PEs so the pinned path detours through the backbone — the
+    whole point of a TE tunnel is to diverge from the IGP shortest
+    path.  Deterministic for a given rng state.
+    """
+    asn = head.asn
+    path: List[Router] = [head]
+    visited = {head.name}
+
+    def step(router: Router) -> bool:
+        if router is tail:
+            return True
+        if len(path) >= max_len:
+            return False
+        neighbors = sorted(
+            {
+                interface.neighbor.router
+                for interface in router.interfaces.values()
+                if interface.neighbor.router.asn == asn
+                and interface.neighbor.router.name not in visited
+            },
+            key=lambda peer: peer.name,
+        )
+        rng.shuffle(neighbors)
+        # Stable sort after the shuffle: cores first (random order
+        # within each group) so the tunnel prefers backbone detours.
+        neighbors.sort(
+            key=lambda peer: peer.name.split("_")[-1].startswith("PE")
+        )
+        for neighbor in neighbors:
+            visited.add(neighbor.name)
+            path.append(neighbor)
+            if step(neighbor):
+                return True
+            path.pop()
+        return False
+
+    return path if step(head) else None
+
+
+def _install_te_tunnels(internet: SyntheticInternet) -> None:
+    """Pin seeded RSVP-TE tunnels across each transit AS.
+
+    Heads are backbone PEs (where inter-domain transit traffic enters
+    the AS), tails are customer-facing PEs (where it leaves toward the
+    stubs) — the head steers exactly the flows whose BGP egress is the
+    tail, so campaign targets actually ride the tunnels.  Runs last in
+    the build pipeline and consumes the RNG only when enabled, keeping
+    TE-free topologies byte-identical to older seeds.
+    """
+    count = internet.config.te_tunnels_per_transit
+    if count <= 0:
+        return
+    rng = internet._rng
+    network = internet.network
+    for asn in internet.transit_asns:
+        backbone = sorted(internet.backbone_pes.get(asn, set()))
+        heads = [network.routers[name] for name in backbone]
+        if not heads:
+            heads = internet.edge_routers(asn)
+        tails = internet.customer_edge_routers(asn)
+        installed = 0
+        attempts = 0
+        while installed < count and attempts < count * 8:
+            attempts += 1
+            head = heads[rng.randrange(len(heads))]
+            tail = tails[rng.randrange(len(tails))]
+            if head is tail:
+                continue
+            if internet.control.te.tunnel_from(head.name, tail.name):
+                continue
+            path = _te_path(rng, head, tail)
+            if path is None or len(path) < 3:
+                continue
+            tunnel = TeTunnel(
+                name=f"te-as{asn}-{installed}",
+                path=tuple(router.name for router in path),
+                popping=PoppingMode.UHP,
+                ttl_propagate=internet.config.te_ttl_propagate,
+            )
+            internet.control.install_te_tunnel(tunnel)
+            internet.te_tunnels.append(tunnel)
+            installed += 1
 
 
 def _pick_vantage_points(internet: SyntheticInternet) -> None:

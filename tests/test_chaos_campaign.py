@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.brpr import backward_recursive_revelation
 from repro.core.revelation import reveal_tunnel
+from repro.core.technique import default_techniques
 from repro.experiments.common import CampaignContext, ContextConfig
 from repro.faults import FAULT_PROFILES
 from repro.measure.service import BudgetExceeded
@@ -80,9 +81,11 @@ class TestEveryProfileDegradesGracefully:
         assert not result.partial  # no budget: must run to the end
         quality = result.data_quality
         assert quality["grade"] in ("high", "degraded", "poor")
-        assert set(quality["techniques"]) == {
-            "frpla", "rtla", "dpr", "brpr",
-        }
+        # Grading enumerates the technique registry, so every shipped
+        # technique (including new entrants like tnt) gets a score.
+        assert set(quality["techniques"]) == set(
+            default_techniques().names()
+        )
         assert quality["counters"]["probes"] > 0
         if FAULT_PROFILES[profile].inert:
             assert quality["counters"]["faults_injected"] == 0

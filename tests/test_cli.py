@@ -51,7 +51,7 @@ class TestList:
         out = capsys.readouterr().out
         for identifier in EXPERIMENTS:
             assert identifier in out
-        assert len(EXPERIMENTS) == 16  # 15 paper artefacts + graphs
+        assert len(EXPERIMENTS) == 17  # 15 paper artefacts + graphs + tnt
 
 
 class TestCampaign:

@@ -1,0 +1,237 @@
+"""RSVP-TE as a first-class tunnel class in synth and the data plane.
+
+The contract under test (ISSUE: RSVP-TE promotion): the synth
+generator renders seeded TE tunnels that real transit traffic rides;
+TE-free builds stay byte-identical to older seeds; recorded probe
+logs are byte-identical scalar-vs-batch with TE tunnels installed;
+compiled programs flush on TE install *and* teardown (chaos flap
+included); and a mixed LDP+TE campaign checkpoints and resumes
+bit-identically.
+"""
+
+import pytest
+
+from repro.experiments.common import CampaignContext, ContextConfig
+from repro.measure import RecordingBackend, SimBackend
+from repro.obs import measurement_counters
+from repro.probing.prober import Prober
+from repro.store import RESUME_EXEMPT_COUNTERS
+from repro.synth.internet import InternetConfig, build_internet
+from repro.synth.profiles import paper_profiles
+
+BASE = dict(
+    scale=0.4,
+    seed=11,
+    vantage_points=3,
+    stubs_per_transit=2,
+)
+
+
+def te_internet(seed=11, te=2, compiled=False, window=1,
+                propagate=False):
+    return build_internet(
+        InternetConfig(
+            profiles=tuple(paper_profiles(0.4)),
+            vantage_points=3,
+            stubs_per_transit=2,
+            seed=seed,
+            compiled_plane=compiled,
+            probe_batch_window=window,
+            te_tunnels_per_transit=te,
+            te_ttl_propagate=propagate,
+        )
+    )
+
+
+class TestSynthTe:
+    def test_tunnels_installed_per_transit(self):
+        internet = te_internet()
+        assert internet.te_tunnels
+        assert len(internet.control.te) == len(internet.te_tunnels)
+        per_as = {}
+        for tunnel in internet.te_tunnels:
+            head = internet.network.routers[tunnel.head]
+            tail = internet.network.routers[tunnel.tail]
+            assert head.asn == tail.asn
+            assert len(tunnel.path) >= 3
+            per_as[head.asn] = per_as.get(head.asn, 0) + 1
+        assert all(count <= 2 for count in per_as.values())
+
+    def test_default_build_has_no_tunnels(self):
+        assert te_internet(te=0).te_tunnels == []
+
+    def test_te_knob_does_not_perturb_topology(self):
+        """TE consumes RNG only after everything else is built."""
+        plain = te_internet(te=0)
+        with_te = te_internet(te=2)
+        assert sorted(plain.network.routers) == sorted(
+            with_te.network.routers
+        )
+        assert [vp.name for vp in plain.vps] == [
+            vp.name for vp in with_te.vps
+        ]
+        assert plain.campaign_targets() == with_te.campaign_targets()
+
+    def test_transit_traffic_rides_a_tunnel(self):
+        internet = te_internet()
+        te_paths = {
+            tunnel.path: tunnel for tunnel in internet.te_tunnels
+        }
+        ridden = 0
+        for vp in internet.vps:
+            for dst in internet.campaign_targets():
+                path = tuple(internet.true_forward_path(vp, dst))
+                for te_path in te_paths:
+                    for start in range(len(path) - len(te_path) + 1):
+                        if path[start:start + len(te_path)] == te_path:
+                            ridden += 1
+        assert ridden > 0
+
+
+def _record_log(tmp_path, name, compiled, window):
+    internet = te_internet(compiled=compiled, window=window)
+    path = str(tmp_path / name)
+    recording = RecordingBackend(SimBackend(internet.engine), path)
+    prober = Prober(
+        recording, obs=internet.engine.obs, batch_window=window
+    )
+    vp = internet.vps[0]
+    for dst in internet.campaign_targets()[:6]:
+        prober.traceroute(vp, dst)
+        prober.ping(vp, dst)
+    recording.close()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestCompiledIdentityWithTe:
+    @pytest.mark.parametrize("window", [1, 8])
+    def test_logs_byte_identical(self, tmp_path, window):
+        scalar = _record_log(
+            tmp_path, "scalar.jsonl", compiled=False, window=window
+        )
+        compiled = _record_log(
+            tmp_path, "compiled.jsonl", compiled=True, window=window
+        )
+        assert scalar == compiled
+
+    def test_install_and_teardown_flush_programs(self):
+        internet = te_internet(te=0, compiled=True, window=8)
+
+        def all_paths():
+            return [
+                tuple(internet.true_forward_path(vp, dst))
+                for vp in internet.vps
+                for dst in internet.campaign_targets()
+            ]
+
+        before = all_paths()
+        metrics = internet.engine.obs.metrics
+        assert internet.engine.compiled_plane.stats()["programs"] > 0
+        flushes = metrics.get("dataplane.compiled.invalidations")
+
+        # Steal the seeded tunnels from a TE-enabled twin and install
+        # them mid-flight: the memoised programs must flush...
+        twin = te_internet(te=2)
+        for tunnel in twin.te_tunnels:
+            internet.control.install_te_tunnel(tunnel)
+        assert (
+            metrics.get("dataplane.compiled.invalidations") > flushes
+        )
+        # ...after which the patched internet forwards exactly like a
+        # twin that was *born* with the tunnels (TE install is the last
+        # build step, so the underlying topologies are identical).
+        during = all_paths()
+        te_native = [
+            tuple(twin.true_forward_path(vp, dst))
+            for vp in twin.vps
+            for dst in twin.campaign_targets()
+        ]
+        assert during == te_native
+        assert during != before
+        # ...and teardown must flush again and restore the IGP paths.
+        flushes = metrics.get("dataplane.compiled.invalidations")
+        for tunnel in twin.te_tunnels:
+            internet.control.remove_te_tunnel(tunnel.head, tunnel.tail)
+        assert (
+            metrics.get("dataplane.compiled.invalidations") > flushes
+        )
+        assert all_paths() == before
+
+    def test_teardown_of_unknown_tunnel_raises(self):
+        internet = te_internet(te=0)
+        with pytest.raises(KeyError):
+            internet.control.remove_te_tunnel("nope", "nowhere")
+
+
+def _context(**overrides):
+    config = dict(BASE, te_tunnels_per_transit=2)
+    config.update(overrides)
+    return CampaignContext(ContextConfig(**config))
+
+
+def _counters(context):
+    counters = dict(
+        measurement_counters(
+            context.campaign.obs.metrics.counters_snapshot()
+        )
+    )
+    for name in RESUME_EXEMPT_COUNTERS:
+        counters.pop(name, None)
+    return counters
+
+
+def _assert_results_equal(left, right):
+    for name in (
+        "traces", "pings", "pairs", "revelations",
+        "probes_sent", "revelation_probes",
+    ):
+        assert getattr(left, name) == getattr(right, name), name
+    assert left.data_quality == right.data_quality
+
+
+class TestMixedCampaigns:
+    def test_compiled_equals_scalar_with_te(self):
+        # Same batch window on both sides: windowed probing keeps
+        # extra probes in flight behind a stop (they spend budget), so
+        # only the compiled plane may differ between the two runs.
+        scalar = _context(batch_window=8)
+        compiled = _context(compiled_plane=True, batch_window=8)
+        _assert_results_equal(compiled.result, scalar.result)
+
+    def test_chaos_flap_campaign_completes_with_te(self):
+        context = _context(
+            fault_profile="flap", compiled_plane=True, batch_window=8,
+            max_retries=1,
+        )
+        result = context.result
+        assert not result.partial
+        assert result.traces
+        assert result.data_quality["grade"] in (
+            "high", "degraded", "poor",
+        )
+
+    def test_checkpoint_resume_bit_identical(self, tmp_path):
+        baseline = _context()
+        warehouse = str(tmp_path / "warehouse")
+        interrupted = _context(
+            probe_budget=150, checkpoint_dir=warehouse
+        )
+        assert interrupted.result.partial
+        resumed = _context(checkpoint_dir=warehouse, resume=True)
+        assert not resumed.result.partial
+        _assert_results_equal(resumed.result, baseline.result)
+        assert _counters(resumed) == _counters(baseline)
+
+    def test_te_keys_the_snapshot(self, tmp_path):
+        """An LDP-only resume must not land in a TE snapshot."""
+        from repro.store import StoreMismatch
+
+        warehouse = str(tmp_path / "warehouse")
+        _context(checkpoint_dir=warehouse)
+        with pytest.raises(StoreMismatch):
+            _context(
+                te_tunnels_per_transit=0,
+                checkpoint_dir=warehouse,
+                resume=True,
+            )

@@ -14,9 +14,8 @@ Usage::
         [--baseline BENCH_perf.json] [--tolerance 0.25] \
         [--bench test_perf_full_traceroute_uncached ...]
 
-By default only ``test_perf_full_traceroute_uncached`` is guarded —
-the scalar hot path every other bench builds on; pass ``--bench``
-to guard more.
+By default the scalar traceroute hot path and the RSVP-TE steering
+path are guarded; pass ``--bench`` to guard more.
 """
 
 import argparse
@@ -26,8 +25,13 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Benches guarded when ``--bench`` is not given.
-DEFAULT_BENCHES = ("test_perf_full_traceroute_uncached",)
+#: Benches guarded when ``--bench`` is not given: the scalar hot path
+#: every other bench builds on, and the RSVP-TE steering path layered
+#: on top of it.
+DEFAULT_BENCHES = (
+    "test_perf_full_traceroute_uncached",
+    "test_perf_full_traceroute_te",
+)
 
 
 def fresh_means(payload: dict) -> dict:

@@ -140,6 +140,7 @@ def summarize(records: Iterable[dict]) -> dict:
             technique: dict(outcomes)
             for technique, outcomes in verdicts.items()
         },
+        "techniques": _technique_counters(counters),
         "spans": {
             name: {
                 "count": len(values),
@@ -156,6 +157,25 @@ def summarize(records: Iterable[dict]) -> dict:
         "tenant_probes": dict(tenant_probes),
         "serve": serve_summary,
     }
+
+
+def _technique_counters(counters: Dict[str, int]) -> Dict[str, Dict[str, int]]:
+    """Group the ``technique.*`` metrics family per technique.
+
+    ``technique.<name>.<stat>`` counters come straight from the
+    technique registry's instrumented analyzers and revelation
+    strategies, so the digest enumerates whatever techniques actually
+    ran — nothing hardcoded.
+    """
+    techniques: Dict[str, Dict[str, int]] = defaultdict(dict)
+    for name, value in counters.items():
+        if not name.startswith("technique."):
+            continue
+        parts = name.split(".", 2)
+        if len(parts) != 3:
+            continue
+        techniques[parts[1]][parts[2]] = value
+    return dict(techniques)
 
 
 def render(summary: dict) -> str:
@@ -209,6 +229,15 @@ def render(summary: dict) -> str:
             f"  {technique:<12s} {successes}/{total} successful"
         )
     lines.append("")
+
+    techniques = summary.get("techniques") or {}
+    if techniques:
+        lines.append("## Techniques")
+        for technique, stats in sorted(techniques.items()):
+            for stat, value in sorted(stats.items()):
+                label = f"{technique}.{stat}"
+                lines.append(f"  {label:<26s} {value:>8d}")
+        lines.append("")
 
     faults = summary["faults"]
     flaps = summary["flaps"]
