@@ -185,6 +185,15 @@ class CampaignConfig:
     #: pairs get an empty, technique-stamped revelation so checkpoint
     #: indices stay aligned with the pair list.
     revelation_technique: Optional[str] = None
+    #: Candidate pairs whose revelation the caller carries forward
+    #: from an earlier snapshot (the monitor's incremental path):
+    #: listed ``(ingress, egress)`` pairs skip the revelation
+    #: recursion and get an empty revelation stamped
+    #: ``technique="carried"`` — the monitor substitutes the prior
+    #: epoch's revelation afterwards.  None (the default) reveals
+    #: every pair; the field is omitted from the snapshot identity
+    #: when None so pre-monitor campaign keys are preserved.
+    carried_pairs: Optional[Tuple[Tuple[int, int], ...]] = None
 
 
 @dataclass
@@ -482,11 +491,14 @@ class Campaign:
                     if checkpoint is not None:
                         checkpoint.record_pairs(result)
                 skip = self._restored(checkpoint, "revelation")
+                carried = frozenset(self.config.carried_pairs or ())
                 with self._phase(result, "revelation"):
                     self._prewarm([
                         ("reveal", pair.vp, pair.ingress, pair.egress)
-                        for pair in result.pairs
-                    ][skip:])
+                        for index, pair in enumerate(result.pairs)
+                        if index >= skip
+                        and (pair.ingress, pair.egress) not in carried
+                    ])
                     self.revelation_phase(result, checkpoint)
             except BudgetExceeded as exc:
                 # A clean early stop: keep everything measured so far
@@ -826,10 +838,31 @@ class Campaign:
             else None
         )
         metrics = self.obs.metrics
+        carried = frozenset(self.config.carried_pairs or ())
         before = self.prober.probes_sent
         try:
             for index, pair in enumerate(result.pairs):
                 if index < restored:
+                    continue
+                if (pair.ingress, pair.egress) in carried:
+                    # Carried forward from a prior snapshot by the
+                    # monitor's staleness engine: record an empty,
+                    # stamped revelation so checkpoint indices stay
+                    # aligned; the caller merges the prior epoch's
+                    # revelation into the result afterwards.
+                    metrics.inc("campaign.pairs_carried")
+                    revelation = Revelation(
+                        ingress=pair.ingress,
+                        egress=pair.egress,
+                        technique="carried",
+                    )
+                    result.revelations[
+                        (pair.ingress, pair.egress)
+                    ] = revelation
+                    if checkpoint is not None:
+                        checkpoint.record_revelation(
+                            index, revelation, []
+                        )
                     continue
                 vp = self._vp_by_name[pair.vp]
                 if technique is not None and technique.trigger is not None:

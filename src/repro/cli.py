@@ -224,6 +224,72 @@ def _build_parser() -> argparse.ArgumentParser:
         "JSON",
     )
 
+    monitor = sub.add_parser(
+        "monitor",
+        help="run a continuous-monitoring chain: churn + incremental "
+        "epoch re-campaigns + tunnel-lifecycle timeline",
+    )
+    monitor.add_argument(
+        "--warehouse", metavar="DIR", default=None,
+        help="warehouse root holding the chain's epoch snapshots "
+        "(re-running the same command resumes the chain); required "
+        "unless --list",
+    )
+    monitor.add_argument(
+        "--epochs", type=int, default=3, metavar="N",
+        help="monitoring epochs to run (epoch 0 is the baseline "
+        "full campaign)",
+    )
+    monitor.add_argument(
+        "--churn-profile", default="gentle", metavar="NAME",
+        help="shipped churn profile applied between epochs "
+        "(see --list)",
+    )
+    monitor.add_argument(
+        "--list", action="store_true", dest="list_profiles",
+        help="list shipped churn profiles and exit",
+    )
+    monitor.add_argument("--scale", type=float, default=0.3)
+    monitor.add_argument("--seed", type=int, default=2017)
+    monitor.add_argument("--vantage-points", type=int, default=4)
+    monitor.add_argument("--stubs-per-transit", type=int, default=3)
+    monitor.add_argument(
+        "--churn-seed", type=int, default=None, metavar="N",
+        help="churn RNG seed (defaults to --seed)",
+    )
+    monitor.add_argument(
+        "--full", action="store_true",
+        help="disable the incremental path: re-reveal every pair "
+        "every epoch (the control arm)",
+    )
+    monitor.add_argument(
+        "--fault-profile", metavar="NAME", default=None,
+        help="non-mutating chaos profile injected under every epoch "
+        "(flap profiles are refused — churn owns the topology)",
+    )
+    monitor.add_argument(
+        "--probe-budget", type=int, default=None, metavar="N",
+        help="per-epoch campaign probe budget; exhausting it stops "
+        "the chain with a resumable partial epoch",
+    )
+    monitor.add_argument(
+        "--compiled", action="store_true",
+        help="evaluate probes through the compiled batch data plane",
+    )
+    monitor.add_argument(
+        "--batch-window", type=int, default=1, metavar="N",
+        help="traceroute TTL rounds submitted per probe batch",
+    )
+    monitor.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the folded timeline (repro.monitor/1) as JSON",
+    )
+    monitor.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the structured event stream (monitor.* counters "
+        "included) as JSONL",
+    )
+
     configs = sub.add_parser(
         "configs", help="dump IOS-style configs for a testbed scenario"
     )
@@ -551,6 +617,115 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.synth.churn import CHURN_PROFILES
+
+    if args.list_profiles:
+        for name, profile in sorted(CHURN_PROFILES.items()):
+            rates = ", ".join(
+                f"{field}={value}"
+                for field, value in (
+                    ("link", profile.link_cost_flips),
+                    ("ldp", profile.ldp_policy_flips),
+                    ("te+", profile.te_installs),
+                    ("te-", profile.te_teardowns),
+                    ("vendor", profile.vendor_upgrades),
+                )
+                if value
+            )
+            print(f"{name:<10} {rates or 'no events'}")
+        return 0
+    if not args.warehouse:
+        print(
+            "error: --warehouse is required (or use --list)",
+            file=sys.stderr,
+        )
+        return 2
+    trace_sink = None
+    if args.trace_out:
+        from repro.obs import DEBUG, JsonlSink, get_event_log
+
+        trace_sink = JsonlSink(args.trace_out)
+        log = get_event_log()
+        log.attach(trace_sink)
+        log.set_level(DEBUG)
+    from repro.monitor import MonitorConfig, MonitorLoop
+    from repro.store import (
+        StoreMismatch,
+        chain_snapshots,
+        fold_timeline,
+        render_timeline,
+    )
+
+    try:
+        loop = MonitorLoop(
+            MonitorConfig(
+                warehouse=args.warehouse,
+                epochs=args.epochs,
+                scale=args.scale,
+                seed=args.seed,
+                vantage_points=args.vantage_points,
+                stubs_per_transit=args.stubs_per_transit,
+                churn_profile=args.churn_profile,
+                churn_seed=args.churn_seed,
+                incremental=not args.full,
+                fault_profile=args.fault_profile,
+                probe_budget=args.probe_budget,
+                compiled_plane=args.compiled,
+                batch_window=args.batch_window,
+            )
+        )
+        report = loop.run()
+    except (StoreMismatch, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if trace_sink is not None:
+            from repro.obs import get_event_log
+
+            log = get_event_log()
+            if "loop" in locals():
+                # The final counters event carries the monitor.*
+                # family for the trace digest (`trace_inspect.py`).
+                log.emit(
+                    "campaign.metrics",
+                    counters=(
+                        loop.obs.metrics.counters_snapshot()
+                    ),
+                )
+            log.detach(trace_sink)
+            trace_sink.close()
+    for outcome in report.epochs:
+        state = (
+            "partial" if outcome.partial
+            else "cached" if outcome.skipped
+            else "resumed" if outcome.resumed
+            else "ran"
+        )
+        print(
+            f"epoch {outcome.epoch}: {state} — "
+            f"{outcome.tunnels} tunnels, {outcome.pairs} pairs "
+            f"({outcome.pairs_carried} carried), "
+            f"{outcome.campaign_probes} campaign + "
+            f"{outcome.evidence_probes} evidence probes, "
+            f"{len(outcome.churn_events)} churn events"
+        )
+    if report.partial:
+        print(f"monitor stopped early: {report.stop_reason}")
+        return 0
+    chains = chain_snapshots(args.warehouse, chain=report.chain)
+    timeline = fold_timeline(chains[report.chain])
+    print()
+    print(render_timeline(timeline))
+    if args.json:
+        import json
+        from pathlib import Path
+
+        Path(args.json).write_text(json.dumps(timeline, indent=1))
+        print(f"timeline written to {args.json}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import FAULT_PROFILES, fault_profile
 
@@ -774,6 +949,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _cmd_campaign,
         "experiment": _cmd_experiment,
         "diff": _cmd_diff,
+        "monitor": _cmd_monitor,
         "chaos": _cmd_chaos,
         "configs": _cmd_configs,
         "export": _cmd_export,

@@ -1,0 +1,46 @@
+"""``repro.monitor`` — continuous longitudinal tunnel monitoring.
+
+The paper's longitudinal claim — tunnels are *dynamic*, so one-shot
+campaigns undercount — needs a monitoring product, not a single
+snapshot.  This package turns the campaign warehouse into that
+product:
+
+* :mod:`repro.monitor.staleness` — the evidence engine deciding, per
+  candidate pair, whether the previous epoch's revelation can be
+  carried forward (one trace + two pings instead of the full DPR/BRPR
+  recursion);
+* :mod:`repro.monitor.loop` — :class:`MonitorLoop`, which advances a
+  churn model (:mod:`repro.synth.churn`) and checkpointed epoch
+  re-campaigns over one warehouse, producing chained content-keyed
+  snapshots plus per-epoch ``monitor.json`` sidecars;
+* the timeline layer lives in :mod:`repro.store.timeline` (folding a
+  chain's snapshots into per-pair lifecycles, schema
+  ``repro.monitor/1``), keeping this package free of store-format
+  knowledge beyond the checkpoint API.
+
+Counters live under the ``monitor.*`` family (an execution prefix:
+skipping work must not change *measurement* counters, which stay
+comparable between incremental and full epochs).
+"""
+
+from repro.monitor.loop import (
+    EpochOutcome,
+    MonitorConfig,
+    MonitorLoop,
+    MonitorReport,
+)
+from repro.monitor.staleness import (
+    PairVerdict,
+    StalenessEngine,
+    StalenessReport,
+)
+
+__all__ = [
+    "EpochOutcome",
+    "MonitorConfig",
+    "MonitorLoop",
+    "MonitorReport",
+    "PairVerdict",
+    "StalenessEngine",
+    "StalenessReport",
+]

@@ -1,0 +1,221 @@
+"""The staleness engine: cheap evidence probing between epochs.
+
+Full revelation is the expensive part of a campaign — the DPR/BRPR
+recursion issues many traceroutes per candidate pair.  A monitoring
+loop that re-ran it for *every* pair every epoch would pay the full
+campaign cost N times even when nothing changed.  This module decides,
+per candidate pair of the previous snapshot, whether the pair's
+revelation can be **carried forward** or must be re-run, using
+evidence that costs one traceroute and two pings per pair:
+
+1. **Churn attribution** — the churn model reports which transit ASes
+   each epoch's events touched.  A pair whose tunnel AS churned, or
+   whose recorded trace crosses a churned AS, is stale outright (no
+   probes spent).
+2. **Path evidence** — re-trace the pair's ``(vp, dst)`` flow and
+   compare the hop address sequence (and destination reachability)
+   against the snapshot's recorded trace.  RTTs are deliberately
+   ignored: latency faults shift timings without moving tunnels.
+3. **Signature evidence** — re-ping ingress and egress from the
+   pair's VP and compare ``(responded, reply_kind, reply_ttl)``
+   against the recorded fingerprint ping.  A vendor upgrade or an
+   LDP policy flip shows up here even when the address path did not
+   move.
+
+Pairs that appear only in the *new* epoch are never carried — the
+orchestrator reveals by default and the carried set is an explicit
+allowlist of previously-known pairs — so the engine can only ever
+trade probes for staleness, never miss a new tunnel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["PairVerdict", "StalenessReport", "StalenessEngine"]
+
+
+@dataclass(frozen=True)
+class PairVerdict:
+    """One pair's staleness decision, JSON-ready via :meth:`to_dict`."""
+
+    ingress: int
+    egress: int
+    asn: Optional[int]
+    stale: bool
+    reasons: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """Record stored in the epoch's ``monitor.json`` sidecar."""
+        return {
+            "ingress": self.ingress,
+            "egress": self.egress,
+            "asn": self.asn,
+            "stale": self.stale,
+            "reasons": list(self.reasons),
+        }
+
+
+@dataclass
+class StalenessReport:
+    """The engine's output for one epoch transition.
+
+    Attributes:
+        verdicts: one entry per previous-snapshot pair, in the
+            snapshot's pair order.
+        carried_pairs: ``(ingress, egress)`` pairs deemed fresh —
+            sorted, ready for ``CampaignConfig.carried_pairs``.
+        probes_spent: evidence probes issued (traces + pings).
+    """
+
+    verdicts: List[PairVerdict] = field(default_factory=list)
+    carried_pairs: Tuple[Tuple[int, int], ...] = ()
+    probes_spent: int = 0
+
+    @property
+    def stale_pairs(self) -> int:
+        """Pairs flagged for full re-revelation."""
+        return sum(1 for verdict in self.verdicts if verdict.stale)
+
+
+class StalenessEngine:
+    """Flags previous-snapshot pairs whose revelation went stale.
+
+    Args:
+        prober: the monitor's (possibly fault-wrapped) prober; its
+            probes are charged under the ``"monitor"`` budget scope.
+        vp_by_name: VP name -> Router, as the orchestrator keeps it.
+        asn_of: IP-to-AS mapping for churned-transit attribution.
+        start_ttl: first TTL of campaign traceroutes (evidence
+            re-traces must match the recorded hop window).
+    """
+
+    def __init__(
+        self,
+        prober,
+        vp_by_name: Dict[str, object],
+        asn_of,
+        start_ttl: int = 2,
+    ) -> None:
+        self.prober = prober
+        self.vp_by_name = vp_by_name
+        self.asn_of = asn_of
+        self.start_ttl = start_ttl
+
+    # ------------------------------------------------------------------
+
+    def assess(
+        self, previous, churned_asns: Sequence[int]
+    ) -> StalenessReport:
+        """Judge every pair of the ``previous`` snapshot.
+
+        Deterministic: pairs are visited in the snapshot's recorded
+        order, and evidence probes are only issued for pairs churn
+        attribution did not already flag (cheapest signal first).
+        """
+        churned = set(churned_asns)
+        traces = [
+            record.get("trace") or {}
+            for record in previous.records("trace")
+        ]
+        pings: Dict[Tuple[str, int], dict] = {}
+        for record in previous.records("ping"):
+            pings[(record["vp"], record["address"])] = (
+                record.get("ping") or {}
+            )
+        report = StalenessReport()
+        before = self.prober.probes_sent
+        carried: List[Tuple[int, int]] = []
+        with self.prober.service.scope("monitor"):
+            for record in previous.records("pairs"):
+                verdict = self._judge(record, traces, pings, churned)
+                report.verdicts.append(verdict)
+                if not verdict.stale:
+                    carried.append((verdict.ingress, verdict.egress))
+        report.carried_pairs = tuple(sorted(carried))
+        report.probes_spent = self.prober.probes_sent - before
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _judge(
+        self,
+        record: dict,
+        traces: List[dict],
+        pings: Dict[Tuple[str, int], dict],
+        churned: set,
+    ) -> PairVerdict:
+        """One pair's verdict (see module docstring for the rules)."""
+        ingress = record["ingress"]
+        egress = record["egress"]
+        asn = record.get("asn")
+        reasons: List[str] = []
+        if asn in churned:
+            reasons.append("as-churned")
+        trace_index = record.get("trace_index")
+        recorded: dict = {}
+        if trace_index is not None and trace_index < len(traces):
+            recorded = traces[trace_index]
+        prev_path = self._trace_path(recorded)
+        if self._crosses(prev_path, churned):
+            if "as-churned" not in reasons:
+                reasons.append("path-crosses-churned-as")
+        vp = self.vp_by_name.get(record.get("vp"))
+        if vp is None or not recorded:
+            reasons.append("no-prior-evidence")
+        if reasons:
+            return PairVerdict(
+                ingress, egress, asn, True, tuple(reasons)
+            )
+        fresh = self.prober.traceroute(
+            vp, recorded["dst"], start_ttl=self.start_ttl
+        )
+        fresh_path = [
+            (hop.probe_ttl, hop.address) for hop in fresh.hops
+        ]
+        if fresh_path != prev_path or (
+            fresh.destination_reached
+            != recorded.get("destination_reached")
+        ):
+            reasons.append("path-changed")
+        elif self._crosses(fresh_path, churned):
+            reasons.append("path-crosses-churned-as")
+        for label, address in (("ingress", ingress), ("egress", egress)):
+            prior = pings.get((record.get("vp"), address))
+            if prior is None:
+                reasons.append(f"no-prior-ping-{label}")
+                continue
+            probe = self.prober.ping(vp, address)
+            signature = (
+                probe.responded, probe.reply_kind, probe.reply_ttl
+            )
+            if signature != (
+                prior.get("responded"),
+                prior.get("reply_kind"),
+                prior.get("reply_ttl"),
+            ):
+                reasons.append(f"signature-changed-{label}")
+        return PairVerdict(
+            ingress, egress, asn, bool(reasons), tuple(reasons)
+        )
+
+    @staticmethod
+    def _trace_path(trace: dict) -> List[Tuple[int, Optional[int]]]:
+        """Canonical ``(probe_ttl, address)`` sequence of a record."""
+        return [
+            (hop.get("probe_ttl"), hop.get("address"))
+            for hop in trace.get("hops") or []
+        ]
+
+    def _crosses(
+        self,
+        path: List[Tuple[int, Optional[int]]],
+        churned: set,
+    ) -> bool:
+        """True when any responding hop sits in a churned AS."""
+        return any(
+            self.asn_of(address) in churned
+            for _, address in path
+            if address is not None
+        )

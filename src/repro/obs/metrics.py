@@ -51,8 +51,8 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 #: worker count, wall-clock, checkpoint/resume) rather than on what
 #: was measured.
 EXECUTION_PREFIXES: Tuple[str, ...] = (
-    "dataplane.", "engine.", "phase.", "prewarm.", "serve.", "span.",
-    "store.",
+    "dataplane.", "engine.", "monitor.", "phase.", "prewarm.",
+    "serve.", "span.", "store.",
 )
 
 

@@ -15,7 +15,11 @@ lost.  This package gives a campaign a durable home:
   included), plus :func:`result_document`;
 * :mod:`repro.store.diff` — longitudinal diffing between snapshots
   (``repro diff``): tunnels appeared / disappeared / length-changed
-  and per-AS deployment deltas.
+  and per-AS deployment deltas;
+* :mod:`repro.store.timeline` — the monitoring product
+  (``repro monitor``): folds a chain of epoch snapshots into
+  per-pair tunnel lifecycles (born/died/resized/technique-changed)
+  with per-AS churn-rate rollups, schema ``repro.monitor/1``.
 
 Layering: ``repro.store`` sits *above* the campaign layer (it imports
 dataset serializers and is handed live campaign objects), while the
@@ -37,6 +41,8 @@ from repro.store.diff import (
 from repro.store.layout import (
     DIFF_SCHEMA,
     IDENTITY_EXCLUDED_FIELDS,
+    IDENTITY_OMITTED_WHEN_NONE,
+    MONITOR_SCHEMA,
     PHASES,
     RESUME_EXEMPT_COUNTERS,
     STORE_SCHEMA,
@@ -44,13 +50,20 @@ from repro.store.layout import (
     config_fingerprint,
     snapshot_dirname,
 )
+from repro.store.timeline import (
+    chain_snapshots,
+    fold_timeline,
+    render_timeline,
+)
 from repro.store.warehouse import CampaignStore, Snapshot
 
 __all__ = [
     "STORE_SCHEMA",
     "DIFF_SCHEMA",
+    "MONITOR_SCHEMA",
     "PHASES",
     "IDENTITY_EXCLUDED_FIELDS",
+    "IDENTITY_OMITTED_WHEN_NONE",
     "RESUME_EXEMPT_COUNTERS",
     "campaign_key",
     "config_fingerprint",
@@ -60,8 +73,11 @@ __all__ = [
     "CampaignCheckpoint",
     "StoreMismatch",
     "result_document",
+    "chain_snapshots",
     "diff_snapshots",
+    "fold_timeline",
     "render_diff",
+    "render_timeline",
     "resolve_snapshot",
     "snapshot_tunnels",
 ]

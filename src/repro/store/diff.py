@@ -36,15 +36,26 @@ __all__ = [
 def resolve_snapshot(path: Union[str, Path]) -> Snapshot:
     """Interpret a CLI path argument as a snapshot.
 
-    Accepts either a snapshot directory itself or a warehouse root
-    that contains exactly one snapshot (the common single-campaign
-    checkpoint dir).  Anything else raises ``ValueError`` with the
-    candidates listed.
+    Accepts, in order of preference:
+
+    * a snapshot directory itself;
+    * ``<warehouse>/<key prefix>`` — any unambiguous prefix of a
+      snapshot's directory name or full campaign key (so
+      ``repro diff warehouse/7cc warehouse/94f`` works without
+      typing the full 12-char dirnames);
+    * a warehouse root holding exactly one snapshot (the common
+      single-campaign checkpoint dir).
+
+    Anything else raises ``ValueError`` with the candidates listed.
     """
     path = Path(path)
     snapshot = Snapshot(path)
     if snapshot.exists():
         return snapshot
+    if not path.exists() and path.parent.exists():
+        matched = _match_key_prefix(path.parent, path.name)
+        if matched is not None:
+            return matched
     snapshots = CampaignStore(path).snapshots()
     if len(snapshots) == 1:
         return snapshots[0]
@@ -55,7 +66,40 @@ def resolve_snapshot(path: Union[str, Path]) -> Snapshot:
     )
     raise ValueError(
         f"{path} holds {len(snapshots)} snapshots ({names}); "
-        "point at one of them directly"
+        "point at one of them directly or use a key prefix"
+    )
+
+
+def _match_key_prefix(
+    root: Path, prefix: str
+) -> Optional[Snapshot]:
+    """The warehouse snapshot matching an unambiguous key prefix.
+
+    A candidate matches when its directory name *or* its manifest's
+    full campaign key starts with ``prefix``.  Returns None when
+    nothing matches (the caller falls through to its own error);
+    raises ``ValueError`` listing the candidates when the prefix is
+    ambiguous.
+    """
+    if not prefix:
+        return None
+    matches = []
+    for snapshot in CampaignStore(root).snapshots():
+        key = str((snapshot.manifest() or {}).get("key") or "")
+        if snapshot.path.name.startswith(prefix) or (
+            key.startswith(prefix)
+        ):
+            matches.append(snapshot)
+    if not matches:
+        return None
+    if len(matches) == 1:
+        return matches[0]
+    names = ", ".join(
+        snapshot.path.name for snapshot in matches
+    )
+    raise ValueError(
+        f"key prefix {prefix!r} is ambiguous in {root}: "
+        f"matches {names}"
     )
 
 

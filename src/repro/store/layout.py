@@ -42,8 +42,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 __all__ = [
     "STORE_SCHEMA",
     "DIFF_SCHEMA",
+    "MONITOR_SCHEMA",
     "PHASES",
     "IDENTITY_EXCLUDED_FIELDS",
+    "IDENTITY_OMITTED_WHEN_NONE",
     "RESUME_EXEMPT_COUNTERS",
     "config_fingerprint",
     "campaign_key",
@@ -60,6 +62,11 @@ STORE_SCHEMA = "repro.store/1"
 
 #: Diff document schema identifier (see :mod:`repro.store.diff`).
 DIFF_SCHEMA = "repro.store.diff/1"
+
+#: Monitor timeline document schema identifier (see
+#: :mod:`repro.store.timeline`); also stamped on the per-epoch
+#: ``monitor.json`` sidecar the monitor loop writes into snapshots.
+MONITOR_SCHEMA = "repro.monitor/1"
 
 #: Checkpointable phases, in pipeline order, with their record files.
 PHASES = ("trace", "ping", "pairs", "revelation")
@@ -85,6 +92,14 @@ RESUME_EXEMPT_COUNTERS = (
     "measure.cache.flushes",
 )
 
+#: CampaignConfig fields dropped from the fingerprint entirely while
+#: they hold their ``None`` default.  These are fields added *after*
+#: snapshots already existed in the wild: omitting the default keeps
+#: every pre-existing campaign key byte-identical, while a non-None
+#: value (e.g. the monitor's carried-pair subset, which changes what
+#: the revelation phase measures) still keys its own snapshot.
+IDENTITY_OMITTED_WHEN_NONE = ("carried_pairs",)
+
 
 def config_fingerprint(config) -> Dict[str, object]:
     """A CampaignConfig's identity-relevant fields, JSON-ready.
@@ -97,10 +112,15 @@ def config_fingerprint(config) -> Dict[str, object]:
     for name, value in sorted(fields.items()):
         if name in IDENTITY_EXCLUDED_FIELDS:
             continue
+        if name in IDENTITY_OMITTED_WHEN_NONE and value is None:
+            continue
         if isinstance(value, frozenset):
             value = sorted(value)
         elif isinstance(value, tuple):
-            value = list(value)
+            value = [
+                list(item) if isinstance(item, tuple) else item
+                for item in value
+            ]
         fingerprint[name] = value
     return fingerprint
 

@@ -1,5 +1,13 @@
-"""Synthetic environments: testbeds, Internet generator, failures."""
+"""Synthetic environments: testbeds, Internet generator, failures, churn."""
 
+from repro.synth.churn import (
+    CHURN_PROFILES,
+    ChurnEvent,
+    ChurnModel,
+    ChurnProfile,
+    churn_profile,
+    churn_profile_names,
+)
 from repro.synth.failures import (
     disable_rfc4950,
     rate_limit_routers,
@@ -21,6 +29,12 @@ from repro.synth.profiles import (
 )
 
 __all__ = [
+    "CHURN_PROFILES",
+    "ChurnEvent",
+    "ChurnModel",
+    "ChurnProfile",
+    "churn_profile",
+    "churn_profile_names",
     "Gns3Testbed",
     "InternetConfig",
     "PAPER_PROFILES",

@@ -9,6 +9,7 @@ path resolution rules.
 
 import json
 import os
+import shutil
 
 import pytest
 
@@ -116,6 +117,24 @@ class TestDiffDocument:
         assert "  + " in text
         assert "  - " in text
 
+    def test_zero_churn_render_has_no_tunnel_rows(self, two_snapshots):
+        """Diffing a snapshot against itself renders only the
+        all-zero summary — no +/-/~ rows, no spurious per-AS deltas."""
+        (result_a, snapshot_a), _ = two_snapshots
+        text = render_diff(diff_snapshots(snapshot_a, snapshot_a))
+        assert "  appeared:       0" in text
+        assert "  disappeared:    0" in text
+        assert "  length changed: 0" in text
+        assert (
+            f"  unchanged:      "
+            f"{len(result_a.successful_revelations())}" in text
+        )
+        for marker in ("  + ", "  - ", "  ~ "):
+            assert marker not in text
+        for line in text.splitlines():
+            if line.startswith("  AS"):
+                assert "(+0)" in line
+
 
 class TestTunnelSourcing:
     def test_result_summary_preferred(self, two_snapshots):
@@ -148,6 +167,36 @@ class TestTunnelSourcing:
         )
         assert document["summary"]["unchanged"] == len(from_records)
 
+    def test_records_fallback_on_both_sides(
+        self, tmp_path, two_snapshots
+    ):
+        """Two interrupted runs (neither wrote result.json) still
+        diff: tunnels come from revelation.jsonl + pairs.jsonl on
+        both sides, and the per-AS section (result.json-only data)
+        degrades to empty instead of crashing."""
+        (result_a, snapshot_a), (_, snapshot_b) = two_snapshots
+        copies = []
+        for source in (snapshot_a, snapshot_b):
+            target = tmp_path / source.path.name
+            shutil.copytree(source.path, target)
+            (target / "result.json").unlink()
+            copies.append(target)
+        reference = diff_snapshots(snapshot_a, snapshot_b)
+        document = diff_snapshots(*copies)
+        assert not document["a"]["from_result_summary"]
+        assert not document["b"]["from_result_summary"]
+        assert document["summary"] == reference["summary"]
+        assert document["per_as"] == []
+        fallback_pairs = {
+            (tunnel["ingress"], tunnel["egress"], tunnel["asn"])
+            for tunnel in snapshot_tunnels(resolve_snapshot(copies[0]))
+        }
+        summary_pairs = {
+            (tunnel["ingress"], tunnel["egress"], tunnel["asn"])
+            for tunnel in snapshot_tunnels(snapshot_a)
+        }
+        assert fallback_pairs == summary_pairs
+
 
 class TestResolveSnapshot:
     def test_accepts_snapshot_dir_and_store_root(self, two_snapshots):
@@ -173,6 +222,131 @@ class TestResolveSnapshot:
             )
         with pytest.raises(ValueError, match="2 snapshots"):
             resolve_snapshot(crowded)
+
+
+class TestKeyPrefixResolution:
+    """``repro diff warehouse/<prefix>`` path resolution."""
+
+    @pytest.fixture()
+    def crowded(self, tmp_path, two_snapshots):
+        """Both snapshots' manifests under one warehouse root."""
+        (_, snapshot_a), (_, snapshot_b) = two_snapshots
+        root = tmp_path / "crowded"
+        root.mkdir()
+        for source in (snapshot_a, snapshot_b):
+            target = root / source.path.name
+            target.mkdir()
+            (target / "MANIFEST.json").write_text(
+                (source.path / "MANIFEST.json").read_text()
+            )
+        return root, snapshot_a, snapshot_b
+
+    @staticmethod
+    def _unique_prefix(name, other):
+        """Shortest prefix of ``name`` that ``other`` doesn't share."""
+        for stop in range(1, len(name) + 1):
+            if not other.startswith(name[:stop]):
+                return name[:stop]
+        raise AssertionError(f"{other} extends {name}")
+
+    def test_unique_dirname_prefix_resolves(self, crowded):
+        root, snapshot_a, snapshot_b = crowded
+        prefix = self._unique_prefix(
+            snapshot_a.path.name, snapshot_b.path.name
+        )
+        assert len(prefix) < len(snapshot_a.path.name)
+        resolved = resolve_snapshot(root / prefix)
+        assert resolved.path.name == snapshot_a.path.name
+
+    def test_full_key_prefix_resolves(self, crowded):
+        """A prefix longer than the 12-char dirname matches the
+        manifest's full campaign key."""
+        root, snapshot_a, _ = crowded
+        key = snapshot_a.manifest()["key"]
+        prefix = key[: len(snapshot_a.path.name) + 8]
+        assert len(prefix) > len(snapshot_a.path.name)
+        resolved = resolve_snapshot(root / prefix)
+        assert resolved.path.name == snapshot_a.path.name
+
+    def test_ambiguous_prefix_lists_candidates(
+        self, tmp_path, two_snapshots
+    ):
+        (_, snapshot_a), _ = two_snapshots
+        root = tmp_path / "twins"
+        root.mkdir()
+        for name in ("cafe0001aaaa", "cafe0002bbbb"):
+            target = root / name
+            target.mkdir()
+            (target / "MANIFEST.json").write_text(
+                (snapshot_a.path / "MANIFEST.json").read_text()
+            )
+        with pytest.raises(ValueError, match="ambiguous") as excinfo:
+            resolve_snapshot(root / "cafe")
+        assert "cafe0001aaaa" in str(excinfo.value)
+        assert "cafe0002bbbb" in str(excinfo.value)
+
+    def test_unmatched_prefix_reports_missing_snapshot(self, crowded):
+        """A prefix matching nothing is reported as a missing
+        snapshot at that path, not as an ambiguity."""
+        root, _, _ = crowded
+        with pytest.raises(ValueError, match="no campaign snapshot"):
+            resolve_snapshot(root / "zzzz")
+
+
+class TestPerAsDeltas:
+    @staticmethod
+    def _with_per_as(source, target, rows):
+        """A copy of ``source`` whose result.json carries ``rows``."""
+        shutil.copytree(source.path, target)
+        result_path = target / "result.json"
+        document = json.loads(result_path.read_text())
+        document["per_as"] = rows
+        result_path.write_text(json.dumps(document))
+        return resolve_snapshot(target)
+
+    def test_one_sided_as_rows_survive(self, tmp_path, two_snapshots):
+        """An AS present in only one snapshot's per-AS table still
+        gets a delta row (zeros on the missing side)."""
+        (_, snapshot_a), _ = two_snapshots
+        side_a = self._with_per_as(
+            snapshot_a,
+            tmp_path / "side-a",
+            [
+                {
+                    "asn": 100,
+                    "name": "ONLY-IN-A",
+                    "revealed_pairs": 2,
+                    "lsr_ips": 4,
+                },
+                {"asn": 200, "name": "QUIET", "revealed_pairs": 0,
+                 "lsr_ips": 0},
+            ],
+        )
+        side_b = self._with_per_as(
+            snapshot_a,
+            tmp_path / "side-b",
+            [
+                {
+                    "asn": 64512,
+                    "name": "ONLY-IN-B",
+                    "revealed_pairs": 3,
+                    "lsr_ips": 5,
+                }
+            ],
+        )
+        diff = diff_snapshots(side_a, side_b)
+        rows = {row["asn"]: row for row in diff["per_as"]}
+        assert 200 not in rows, "all-zero ASes are elided"
+        assert rows[100]["revealed_pairs_b"] == 0
+        assert rows[100]["revealed_pairs_delta"] == -2
+        assert rows[100]["lsr_ips_delta"] == -4
+        assert rows[64512]["revealed_pairs_a"] == 0
+        assert rows[64512]["revealed_pairs_delta"] == 3
+        assert rows[64512]["lsr_ips_delta"] == 5
+        text = render_diff(diff)
+        assert "AS64512" in text
+        assert "ONLY-IN-A" in text
+        assert "ONLY-IN-B" in text
 
 
 class TestResultDocument:

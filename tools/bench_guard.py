@@ -13,9 +13,12 @@ Usage::
     python tools/bench_guard.py bench-perf.json \
         [--baseline BENCH_perf.json] [--tolerance 0.25] \
         [--bench test_perf_full_traceroute_uncached ...]
+    python tools/bench_guard.py --monitor
 
 By default the scalar traceroute hot path and the RSVP-TE steering
-path are guarded; pass ``--bench`` to guard more.
+path are guarded; pass ``--bench`` to guard more.  ``--monitor``
+validates the committed ``monitor_incremental_speedup`` section
+instead of (or in addition to) the bench means.
 """
 
 import argparse
@@ -34,6 +37,38 @@ DEFAULT_BENCHES = (
 )
 
 
+def check_monitor(section) -> list:
+    """Validate the ``monitor_incremental_speedup`` invariants.
+
+    The committed section must show the incremental path actually
+    carrying pairs, spending fewer probes than the full arm, and —
+    the safety contract — producing byte-identical tunnel
+    inventories.  Returns failure strings (empty = ok).
+    """
+    if not isinstance(section, dict):
+        return ["no monitor_incremental_speedup section in baseline"]
+    failures = []
+    if not section.get("tunnels_identical"):
+        failures.append(
+            "tunnels_identical is false: incremental epochs diverged "
+            "from full re-campaigns"
+        )
+    if not section.get("pairs_carried"):
+        failures.append("pairs_carried is 0: nothing was skipped")
+    ratio = section.get("probe_ratio")
+    if ratio is None or ratio >= 1.0:
+        failures.append(
+            f"probe_ratio {ratio!r} is not < 1.0: no probe saving"
+        )
+    if not failures:
+        print(
+            "  ok monitor_incremental_speedup: "
+            f"{section.get('pairs_carried')} pairs carried, "
+            f"probe ratio {ratio}, inventories identical"
+        )
+    return failures
+
+
 def fresh_means(payload: dict) -> dict:
     """name -> mean microseconds from a pytest-benchmark export."""
     return {
@@ -45,8 +80,9 @@ def fresh_means(payload: dict) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "results", type=Path,
-        help="fresh pytest-benchmark JSON export",
+        "results", type=Path, nargs="?",
+        help="fresh pytest-benchmark JSON export (optional with "
+        "--monitor)",
     )
     parser.add_argument(
         "--baseline", type=Path,
@@ -62,9 +98,30 @@ def main(argv=None) -> int:
         help="bench name to guard (repeatable); defaults to the "
         "scalar traceroute hot path",
     )
+    parser.add_argument(
+        "--monitor", action="store_true",
+        help="also validate the committed "
+        "monitor_incremental_speedup section (carried pairs, probe "
+        "saving, inventory identity)",
+    )
     args = parser.parse_args(argv)
 
-    baseline = json.loads(args.baseline.read_text()).get("benches", {})
+    snapshot = json.loads(args.baseline.read_text())
+    if args.monitor:
+        failures = check_monitor(
+            snapshot.get("monitor_incremental_speedup")
+        )
+        if failures:
+            print(
+                "monitor guard: " + "; ".join(failures)
+            )
+            return 1
+        if args.results is None:
+            return 0
+    if args.results is None:
+        parser.error("results export required unless --monitor")
+
+    baseline = snapshot.get("benches", {})
     means = fresh_means(json.loads(args.results.read_text()))
     guarded = args.bench or list(DEFAULT_BENCHES)
 

@@ -159,6 +159,76 @@ def resume_stats() -> dict:
     }
 
 
+def monitor_stats() -> dict:
+    """Incremental monitoring epochs vs full re-campaigns.
+
+    Runs the same 3-epoch churned monitor chain twice — once with the
+    staleness engine carrying unchanged pairs forward, once re-running
+    full revelation every epoch — and reports the probe/wall-clock
+    saving.  ``tunnels_identical`` asserts the incremental-safety
+    contract: every epoch's merged tunnel inventory must be
+    byte-identical to the full re-campaign's (also pinned by test).
+    """
+    import shutil
+    import tempfile
+    import time
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.monitor import MonitorConfig, MonitorLoop
+    from repro.store import chain_snapshots, snapshot_tunnels
+
+    def run(incremental):
+        root = tempfile.mkdtemp(prefix="bench-monitor-")
+        try:
+            start = time.perf_counter()
+            loop = MonitorLoop(
+                MonitorConfig(
+                    warehouse=root,
+                    epochs=3,
+                    churn_profile="steady",
+                    incremental=incremental,
+                )
+            )
+            report = loop.run()
+            seconds = time.perf_counter() - start
+            chain = chain_snapshots(root, chain=report.chain)
+            inventories = [
+                json.dumps(snapshot_tunnels(snapshot), sort_keys=True)
+                for snapshot in chain[report.chain]
+            ]
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+        return report, inventories, seconds
+
+    incremental, inc_inventories, inc_seconds = run(True)
+    full, full_inventories, full_seconds = run(False)
+    inc_campaign = sum(
+        outcome.campaign_probes for outcome in incremental.epochs
+    )
+    inc_evidence = sum(
+        outcome.evidence_probes for outcome in incremental.epochs
+    )
+    full_campaign = sum(
+        outcome.campaign_probes for outcome in full.epochs
+    )
+    inc_total = inc_campaign + inc_evidence
+    return {
+        "epochs": len(incremental.epochs),
+        "pairs_carried": sum(
+            outcome.pairs_carried for outcome in incremental.epochs
+        ),
+        "incremental_campaign_probes": inc_campaign,
+        "incremental_evidence_probes": inc_evidence,
+        "incremental_probes": inc_total,
+        "full_probes": full_campaign,
+        "probe_ratio": round(inc_total / full_campaign, 4)
+        if full_campaign else None,
+        "incremental_seconds": round(inc_seconds, 4),
+        "full_seconds": round(full_seconds, 4),
+        "tunnels_identical": inc_inventories == full_inventories,
+    }
+
+
 def serve_stats() -> dict:
     """Multi-tenant serve throughput over shared snapshots.
 
@@ -239,6 +309,7 @@ def main() -> int:
         "campaign_cache": cache_stats(),
         "campaign_resume": resume_stats(),
         "serve_throughput": serve_stats(),
+        "monitor_incremental_speedup": monitor_stats(),
     }
     benches = snapshot["benches"]
     cached = benches.get("test_perf_full_traceroute")

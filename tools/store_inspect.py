@@ -84,6 +84,47 @@ def find_snapshots(root: str) -> List[str]:
     return found
 
 
+def monitor_stamp(path: str) -> Optional[dict]:
+    """The snapshot's monitor-chain stamp, when it belongs to one.
+
+    ``repro monitor`` stamps each epoch's topology fingerprint with
+    ``{"chain", "epoch", "churn_profile"}``; standalone campaign
+    snapshots have no stamp and return None.
+    """
+    manifest = load_json(os.path.join(path, "MANIFEST.json")) or {}
+    fingerprint = manifest.get("fingerprint") or {}
+    topology = fingerprint.get("topology") or {}
+    stamp = topology.get("monitor")
+    return stamp if isinstance(stamp, dict) else None
+
+
+def group_snapshots(
+    paths: List[str],
+) -> Tuple[List[Tuple[str, List[Tuple[int, str]]]], List[str]]:
+    """Split snapshots into monitor chains and standalone ones.
+
+    Returns ``(chains, standalone)`` where each chain is
+    ``(chain_id, [(epoch, path), ...])`` sorted by epoch, so the
+    digest prints a chain's epochs in temporal order rather than the
+    content-key order the directory listing happens to have.
+    """
+    chains: dict = {}
+    standalone: List[str] = []
+    for path in paths:
+        stamp = monitor_stamp(path)
+        if stamp is None:
+            standalone.append(path)
+            continue
+        chain = str(stamp.get("chain"))
+        epoch = int(stamp.get("epoch") or 0)
+        chains.setdefault(chain, []).append((epoch, path))
+    ordered = [
+        (chain, sorted(members))
+        for chain, members in sorted(chains.items())
+    ]
+    return ordered, standalone
+
+
 def summarize_snapshot(path: str) -> dict:
     """Digest one snapshot directory into a summary dict."""
     manifest = load_json(os.path.join(path, "MANIFEST.json")) or {}
@@ -239,8 +280,24 @@ def main(argv: List[str]) -> int:
     if not snapshots:
         print(f"no campaign snapshots under {argv[1]}", file=sys.stderr)
         return 1
+    chains, standalone = group_snapshots(snapshots)
     try:
-        for path in snapshots:
+        for chain, members in chains:
+            stamp = monitor_stamp(members[0][1]) or {}
+            epochs = ", ".join(
+                f"e{epoch}={os.path.basename(path)}"
+                for epoch, path in members
+            )
+            print(
+                f"# Monitor chain {chain} "
+                f"({len(members)} epochs, churn profile "
+                f"{stamp.get('churn_profile')!r})"
+            )
+            print(f"  epoch order: {epochs}")
+            print()
+            for _, path in members:
+                print(render(summarize_snapshot(path)))
+        for path in standalone:
             print(render(summarize_snapshot(path)))
     except BrokenPipeError:  # e.g. piped into head
         return 0

@@ -213,6 +213,25 @@ def render(summary: dict) -> str:
             lines.append(f"  {label:<22s} {value:>8d}")
         lines.append("")
 
+    monitor = {
+        name: value
+        for name, value in summary["counters"].items()
+        if name.startswith("monitor.")
+    }
+    if monitor:
+        lines.append("## Monitor")
+        for name, value in sorted(monitor.items()):
+            label = name[len("monitor."):]
+            lines.append(f"  {label:<22s} {value:>8d}")
+        skipped = monitor.get("monitor.pairs_skipped", 0)
+        reprobed = monitor.get("monitor.pairs_reprobed", 0)
+        if skipped + reprobed:
+            ratio = skipped / (skipped + reprobed)
+            lines.append(
+                f"  {'carried ratio':<22s} {ratio:>8.1%}"
+            )
+        lines.append("")
+
     lines.append("## Revelation outcomes")
     methods = summary["revelation_methods"]
     if methods:
