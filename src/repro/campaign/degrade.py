@@ -34,6 +34,7 @@ __all__ = [
     "DATA_QUALITY_SCHEMA",
     "CircuitBreaker",
     "assess_data_quality",
+    "assess_fleet_quality",
 ]
 
 #: Schema tag on every ``data_quality`` document.
@@ -193,4 +194,49 @@ def assess_data_quality(
         },
         "techniques": technique_confidence,
         "per_as": per_as,
+    }
+
+
+def assess_fleet_quality(
+    chains,
+    expected_epochs: Optional[int] = None,
+) -> Dict[str, object]:
+    """Grade a fleet fold from per-chain epoch coverage.
+
+    ``chains`` is the fleet document's per-chain row list (each row
+    carrying ``chain`` and ``epochs_completed``).  Coverage per chain
+    is ``completed / expected_epochs`` clamped to 1.0; with no
+    expectation a chain scores 1.0 once it completed anything.  The
+    fleet confidence is the mean coverage and reuses the campaign
+    grade bands, which is the whole degradation story: a parked or
+    drained chain lowers coverage and *downgrades* the fleet grade
+    instead of failing the fleet (pinned by test).
+    """
+    per_chain: Dict[str, Dict[str, object]] = {}
+    coverages: List[float] = []
+    incomplete: List[str] = []
+    for row in chains:
+        chain = str(row["chain"])
+        completed = int(row.get("epochs_completed") or 0)
+        if expected_epochs:
+            coverage = min(1.0, completed / expected_epochs)
+        else:
+            coverage = 1.0 if completed > 0 else 0.0
+        coverages.append(coverage)
+        per_chain[chain] = {
+            "coverage": round(coverage, 4),
+            "grade": _grade(coverage),
+        }
+        if coverage < 1.0:
+            incomplete.append(chain)
+    confidence = (
+        sum(coverages) / len(coverages) if coverages else 0.0
+    )
+    return {
+        "schema": DATA_QUALITY_SCHEMA,
+        "kind": "fleet",
+        "grade": _grade(confidence),
+        "confidence": round(confidence, 4),
+        "chains": per_chain,
+        "incomplete": sorted(incomplete),
     }

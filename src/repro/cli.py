@@ -17,6 +17,9 @@
 * ``repro serve`` — many tenant campaigns multiplexed over shared
   rendered snapshots by the async campaign server (fair scheduling,
   per-tenant budgets and chaos, combined JSONL event stream);
+* ``repro fleet`` — a supervised fleet of monitor chains over one
+  shared render (copy-on-churn twins, watchdogs, crash-identical
+  restarts, churn-spike alerting, SIGTERM drain);
 * ``repro list`` — available experiment identifiers.
 
 ``repro campaign --checkpoint DIR`` persists every completed probe
@@ -411,6 +414,98 @@ def _build_parser() -> argparse.ArgumentParser:
         "grants) as JSON",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a supervised fleet of monitor chains over one "
+        "shared rendered topology (copy-on-churn twins, crash "
+        "recovery, churn alerting)",
+    )
+    fleet.add_argument(
+        "--warehouse", metavar="DIR", required=True,
+        help="warehouse root shared by every chain; the folded "
+        "repro.fleet/1 aggregate is written there as fleet.json",
+    )
+    fleet.add_argument(
+        "--chains", type=int, default=3, metavar="N",
+        help="concurrent monitor chains (chain i churns with seed "
+        "base+i over a private copy-on-churn twin)",
+    )
+    fleet.add_argument("--epochs", type=int, default=3, metavar="N")
+    fleet.add_argument("--scale", type=float, default=0.3)
+    fleet.add_argument("--seed", type=int, default=2017)
+    fleet.add_argument("--vantage-points", type=int, default=4)
+    fleet.add_argument("--stubs-per-transit", type=int, default=3)
+    fleet.add_argument(
+        "--churn-profile", default="gentle", metavar="NAME",
+        help="shipped churn profile applied between epochs "
+        "(see 'repro monitor --list')",
+    )
+    fleet.add_argument(
+        "--churn-seed", type=int, default=None, metavar="N",
+        help="base churn seed; chain i uses base+i (defaults to "
+        "--seed)",
+    )
+    fleet.add_argument(
+        "--fault-profile", metavar="NAME", default=None,
+        help="non-mutating chaos profile injected under every "
+        "chain's epochs (flap profiles are refused — churn owns "
+        "each twin)",
+    )
+    fleet.add_argument(
+        "--probe-budget", type=int, default=None, metavar="N",
+        help="per-epoch campaign probe budget per chain",
+    )
+    fleet.add_argument(
+        "--compiled", action="store_true",
+        help="evaluate probes through the compiled batch data plane",
+    )
+    fleet.add_argument(
+        "--batch-window", type=int, default=1, metavar="N",
+        help="traceroute TTL rounds submitted per probe batch",
+    )
+    fleet.add_argument(
+        "--restart-budget", type=int, default=3, metavar="N",
+        help="deaths tolerated per chain before it is parked "
+        "(parking downgrades the fleet grade, never fails the run)",
+    )
+    fleet.add_argument(
+        "--epoch-deadline", type=int, default=None, metavar="N",
+        help="watchdog: kill and restart any epoch that submits "
+        "more than N probes (simulated clock — probe ticks)",
+    )
+    fleet.add_argument(
+        "--backoff-base-ms", type=float, default=25.0, metavar="MS",
+        help="base for the exponential restart backoff",
+    )
+    fleet.add_argument(
+        "--kill-chain", action="append", default=None,
+        metavar="INDEX[:PROBES]",
+        help="fault drill: hard-kill chain INDEX's first attempt "
+        "after PROBES cumulative probes (default 100); repeatable. "
+        "The chain restarts from its checkpoints and must converge "
+        "byte-identically",
+    )
+    fleet.add_argument(
+        "--alert-factor", type=float, default=2.0, metavar="X",
+        help="churn-spike alert when a transition's lifecycle-event "
+        "count exceeds X times the chain's trailing baseline",
+    )
+    fleet.add_argument(
+        "--alert-min-events", type=int, default=2, metavar="N",
+        help="minimum lifecycle events before a spike can alert",
+    )
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="continue a fleet whose warehouse already holds a "
+        "fleet.json (completed epochs are skipped; crashed epochs "
+        "resume from their checkpoints)",
+    )
+    fleet.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the fleet report (ledger + repro.fleet/1 "
+        "document) as JSON",
+    )
+
     sub.add_parser("list", help="list experiment identifiers")
     return parser
 
@@ -726,6 +821,108 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kill_plan(specs) -> Dict[int, int]:
+    """``--kill-chain INDEX[:PROBES]`` entries -> {index: probes}."""
+    plan: Dict[int, int] = {}
+    for spec in specs or []:
+        index, _, probes = str(spec).partition(":")
+        try:
+            plan[int(index)] = int(probes) if probes else 100
+        except ValueError:
+            raise ValueError(
+                f"bad --kill-chain {spec!r}: expected "
+                "INDEX or INDEX:PROBES"
+            ) from None
+    return plan
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import signal
+    from pathlib import Path
+
+    from repro.fleet import FleetConfig, FleetSupervisor
+    from repro.store import render_fleet
+
+    try:
+        kill_plan = _parse_kill_plan(args.kill_chain)
+        config = FleetConfig(
+            warehouse=args.warehouse,
+            chains=args.chains,
+            epochs=args.epochs,
+            scale=args.scale,
+            seed=args.seed,
+            vantage_points=args.vantage_points,
+            stubs_per_transit=args.stubs_per_transit,
+            churn_profile=args.churn_profile,
+            churn_seed=args.churn_seed,
+            fault_profile=args.fault_profile,
+            probe_budget=args.probe_budget,
+            compiled_plane=args.compiled,
+            batch_window=args.batch_window,
+            restart_budget=args.restart_budget,
+            epoch_deadline=args.epoch_deadline,
+            backoff_base_ms=args.backoff_base_ms,
+            alert_factor=args.alert_factor,
+            alert_min_events=args.alert_min_events,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    marker = Path(args.warehouse) / "fleet.json"
+    if marker.exists() and not args.resume:
+        print(
+            f"error: {marker} already exists — this warehouse "
+            "already ran a fleet; pass --resume to continue it "
+            "(completed epochs are skipped, crashed epochs resume "
+            "from their checkpoints) or use a fresh --warehouse",
+            file=sys.stderr,
+        )
+        return 2
+    supervisor = FleetSupervisor(config, kill_plan=kill_plan)
+    previous = signal.signal(
+        signal.SIGTERM,
+        lambda signum, frame: supervisor.request_drain(),
+    )
+    try:
+        report = supervisor.run()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    for outcome in report.chains:
+        extras = []
+        if outcome.restarts:
+            extras.append(f"{outcome.restarts} restarts")
+        if outcome.injected_kills:
+            extras.append(f"{outcome.injected_kills} injected kills")
+        if outcome.watchdog_kills:
+            extras.append(f"{outcome.watchdog_kills} watchdog kills")
+        print(
+            f"chain {outcome.index} ({outcome.chain}): "
+            f"{outcome.status} — "
+            f"{outcome.epochs_completed}/{config.epochs} epochs"
+            + (f" ({', '.join(extras)})" if extras else "")
+        )
+        if outcome.stop_reason:
+            print(f"  {outcome.stop_reason}")
+    if report.drained:
+        print(
+            "fleet drained; re-run with --resume to continue "
+            "every unfinished chain"
+        )
+    print()
+    print(render_fleet(report.document))
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=1)
+        )
+        print(f"fleet report written to {args.json}")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import FAULT_PROFILES, fault_profile
 
@@ -950,6 +1147,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "diff": _cmd_diff,
         "monitor": _cmd_monitor,
+        "fleet": _cmd_fleet,
         "chaos": _cmd_chaos,
         "configs": _cmd_configs,
         "export": _cmd_export,

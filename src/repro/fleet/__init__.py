@@ -1,0 +1,47 @@
+"""``repro.fleet`` — fault-tolerant fleets of monitor chains.
+
+One monitor chain (:mod:`repro.monitor`) tracks one churning
+internet.  A production deployment runs *many* — and expects them to
+survive crashes.  This package supplies that layer:
+
+* :class:`FleetSupervisor` / :class:`ChainWorker` — N concurrent
+  chains over one shared rendered topology, each churning a private
+  **copy-on-churn** twin checked out of the serve-layer snapshot
+  registry (one ``internet_build`` per fleet, frozen-snapshot
+  guarantees intact for served tenants);
+* supervision — per-chain probe-tick watchdogs
+  (:class:`WatchdogExpired`), injected hard kills
+  (:class:`WorkerKilled`), exponential-backoff restarts resuming
+  bit-identically from campaign checkpoints, and a restart-budget
+  breaker that *parks* a repeatedly dying chain, downgrading the
+  fleet's data-quality grade instead of failing the run;
+* graceful drain — :meth:`FleetSupervisor.request_drain` finishes
+  in-flight epochs and persists resumable state (the CLI wires it
+  to SIGTERM);
+* aggregation + alerting — the warehouse folds into one
+  ``repro.fleet/1`` document (:mod:`repro.store.fleet`): per-AS
+  churn baselines and deterministic churn-spike alerts.
+
+Counters live under the ``fleet.*`` family (execution events only:
+restarts and kills must never leak into measurement counters).
+"""
+
+from repro.fleet.supervisor import (
+    ChainOutcome,
+    ChainWorker,
+    FleetConfig,
+    FleetReport,
+    FleetSupervisor,
+    WatchdogExpired,
+    WorkerKilled,
+)
+
+__all__ = [
+    "ChainOutcome",
+    "ChainWorker",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSupervisor",
+    "WatchdogExpired",
+    "WorkerKilled",
+]

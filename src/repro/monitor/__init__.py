@@ -28,6 +28,7 @@ from repro.monitor.loop import (
     MonitorConfig,
     MonitorLoop,
     MonitorReport,
+    chain_id,
 )
 from repro.monitor.staleness import (
     PairVerdict,
@@ -43,4 +44,5 @@ __all__ = [
     "PairVerdict",
     "StalenessEngine",
     "StalenessReport",
+    "chain_id",
 ]

@@ -67,7 +67,56 @@ __all__ = [
     "EpochOutcome",
     "MonitorReport",
     "MonitorLoop",
+    "chain_id",
 ]
+
+
+def chain_id(config: "MonitorConfig") -> str:
+    """Deterministic chain id: a hash of the reproducible knobs.
+
+    A pure function of the config so a fleet supervisor can name a
+    chain (for parked/drained ledger rows and warehouse grouping)
+    without paying an ``internet_build``.  Execution knobs
+    (``probe_budget``, batching) stay out, so an interrupted chain
+    resumes into the same snapshots.
+    """
+    profile = config.churn_profile
+    profile_name = (
+        profile if isinstance(profile, str) else profile.name
+    )
+    identity: Dict[str, object] = {
+        "scale": config.scale,
+        "seed": config.seed,
+        "vantage_points": config.vantage_points,
+        "stubs_per_transit": config.stubs_per_transit,
+        "churn_profile": profile_name,
+        "churn_seed": (
+            config.seed
+            if config.churn_seed is None
+            else config.churn_seed
+        ),
+        "incremental": config.incremental,
+    }
+    if config.fault_profile is not None:
+        identity["fault_profile"] = config.fault_profile
+    if config.te_tunnels_per_transit:
+        identity["te_tunnels_per_transit"] = (
+            config.te_tunnels_per_transit
+        )
+        identity["te_ttl_propagate"] = config.te_ttl_propagate
+    if config.schedule:
+        canonical = json.dumps(
+            {
+                str(epoch): [dict(spec) for spec in specs]
+                for epoch, specs in sorted(config.schedule.items())
+            },
+            sort_keys=True,
+        )
+        identity["schedule_sha"] = hashlib.sha256(
+            canonical.encode()
+        ).hexdigest()[:16]
+    blob = json.dumps(identity, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
 
 
 @dataclass(frozen=True)
@@ -187,7 +236,13 @@ class MonitorLoop:
     matches), and the interrupted epoch resumes from its checkpoint.
     """
 
-    def __init__(self, config: MonitorConfig) -> None:
+    def __init__(
+        self,
+        config: MonitorConfig,
+        internet=None,
+        backend_wrapper=None,
+        stop_before_epoch=None,
+    ) -> None:
         self.config = config
         profile = config.churn_profile
         self.profile: ChurnProfile = (
@@ -204,18 +259,24 @@ class MonitorLoop:
                     "the network; the monitor's churn model owns the "
                     "topology — use a non-flap profile"
                 )
-        self.internet = build_internet(
-            InternetConfig(
-                profiles=tuple(scaled_profiles(config.scale)),
-                vantage_points=config.vantage_points,
-                stubs_per_transit=config.stubs_per_transit,
-                seed=config.seed,
-                compiled_plane=config.compiled_plane,
-                probe_batch_window=config.batch_window,
-                te_tunnels_per_transit=config.te_tunnels_per_transit,
-                te_ttl_propagate=config.te_ttl_propagate,
+        if internet is None:
+            internet = build_internet(
+                InternetConfig(
+                    profiles=tuple(scaled_profiles(config.scale)),
+                    vantage_points=config.vantage_points,
+                    stubs_per_transit=config.stubs_per_transit,
+                    seed=config.seed,
+                    compiled_plane=config.compiled_plane,
+                    probe_batch_window=config.batch_window,
+                    te_tunnels_per_transit=config.te_tunnels_per_transit,
+                    te_ttl_propagate=config.te_ttl_propagate,
+                )
             )
-        )
+        else:
+            self._check_injected(internet)
+        self.internet = internet
+        self._backend_wrapper = backend_wrapper
+        self._stop_before_epoch = stop_before_epoch
         self.prober = self._build_prober()
         self.obs: Obs = self.prober.obs
         self.churn = ChurnModel(
@@ -232,48 +293,53 @@ class MonitorLoop:
         self.chain = self._chain_id()
         self._vp_by_name = {vp.name: vp for vp in self.internet.vps}
 
+    def _check_injected(self, internet) -> None:
+        """Validate a pre-built internet against this chain's config.
+
+        A fleet chain runs over a copy-on-churn twin checked out from
+        the serve registry instead of building its own internet; the
+        twin must be mutable (churn owns it) and agree with every
+        config knob that participates in the chain id, or the chain
+        would stamp snapshots it could never reproduce standalone.
+        """
+        if internet.network.frozen:
+            raise ValueError(
+                "monitor chain needs a private unfrozen internet; "
+                "shared rendered snapshots are frozen — check out a "
+                "copy-on-churn twin (SnapshotRegistry.checkout or "
+                "repro fleet) instead"
+            )
+        expected = {
+            "seed": self.config.seed,
+            "vantage_points": self.config.vantage_points,
+            "stubs_per_transit": self.config.stubs_per_transit,
+            "te_tunnels_per_transit": (
+                self.config.te_tunnels_per_transit
+            ),
+            "te_ttl_propagate": self.config.te_ttl_propagate,
+        }
+        actual = {
+            name: getattr(internet.config, name)
+            for name in expected
+        }
+        if actual != expected:
+            mismatched = ", ".join(
+                f"{name}={actual[name]!r} (config wants "
+                f"{expected[name]!r})"
+                for name in sorted(expected)
+                if actual[name] != expected[name]
+            )
+            raise ValueError(
+                f"injected internet disagrees with the monitor "
+                f"config: {mismatched}"
+            )
+
     # ------------------------------------------------------------------
     # Identity
 
     def _chain_id(self) -> str:
         """Deterministic chain id: a hash of the reproducible knobs."""
-        identity: Dict[str, object] = {
-            "scale": self.config.scale,
-            "seed": self.config.seed,
-            "vantage_points": self.config.vantage_points,
-            "stubs_per_transit": self.config.stubs_per_transit,
-            "churn_profile": self.profile.name,
-            "churn_seed": (
-                self.config.seed
-                if self.config.churn_seed is None
-                else self.config.churn_seed
-            ),
-            "incremental": self.config.incremental,
-        }
-        if self.config.fault_profile is not None:
-            identity["fault_profile"] = self.config.fault_profile
-        if self.config.te_tunnels_per_transit:
-            identity["te_tunnels_per_transit"] = (
-                self.config.te_tunnels_per_transit
-            )
-            identity["te_ttl_propagate"] = (
-                self.config.te_ttl_propagate
-            )
-        if self.config.schedule:
-            canonical = json.dumps(
-                {
-                    str(epoch): [dict(spec) for spec in specs]
-                    for epoch, specs in sorted(
-                        self.config.schedule.items()
-                    )
-                },
-                sort_keys=True,
-            )
-            identity["schedule_sha"] = hashlib.sha256(
-                canonical.encode()
-            ).hexdigest()[:16]
-        blob = json.dumps(identity, sort_keys=True).encode()
-        return hashlib.sha256(blob).hexdigest()[:12]
+        return chain_id(self.config)
 
     def _topology_descriptor(self, epoch: int) -> Dict[str, object]:
         """The snapshot topology stamp for ``epoch``."""
@@ -306,21 +372,25 @@ class MonitorLoop:
     # Plumbing
 
     def _build_prober(self) -> Prober:
-        """The chain's prober (fault-wrapped when configured)."""
+        """The chain's prober (fault-wrapped when configured).
+
+        A ``backend_wrapper`` (the fleet's kill-switch/watchdog
+        harness) wraps outermost so it sees every probe the campaign
+        submits, faults included.
+        """
         from repro.measure import SimBackend
 
         backend = SimBackend(self.internet.engine)
-        if self.config.fault_profile is None:
-            return Prober(
-                backend, batch_window=self.config.batch_window
-            )
-        from repro.faults import FaultyBackend, fault_profile
+        if self.config.fault_profile is not None:
+            from repro.faults import FaultyBackend, fault_profile
 
-        return Prober(
-            FaultyBackend(
+            backend = FaultyBackend(
                 backend, fault_profile(self.config.fault_profile)
-            ),
-            batch_window=self.config.batch_window,
+            )
+        if self._backend_wrapper is not None:
+            backend = self._backend_wrapper(backend)
+        return Prober(
+            backend, batch_window=self.config.batch_window
         )
 
     def _epoch_boundary(self) -> None:
@@ -386,6 +456,17 @@ class MonitorLoop:
         )
         previous = None
         for epoch in range(self.config.epochs):
+            if (
+                self._stop_before_epoch is not None
+                and self._stop_before_epoch(epoch)
+            ):
+                report.partial = True
+                report.stop_reason = (
+                    f"drained before epoch {epoch}; re-run the same "
+                    "monitor command (or resume the fleet) to "
+                    "continue the chain"
+                )
+                return report
             events = (
                 self.churn.advance(epoch) if epoch > 0 else []
             )

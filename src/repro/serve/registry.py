@@ -22,7 +22,9 @@ Counters (in the registry's observability bundle, ``serve.*`` family):
 * ``serve.snapshot.renders`` — topologies actually built;
 * ``serve.snapshot.attach_hits`` — attaches served from an already
   rendered snapshot (the builds avoided);
-* ``serve.snapshot.attaches`` — every attach, hit or not.
+* ``serve.snapshot.attaches`` — every attach, hit or not;
+* ``serve.snapshot.checkouts`` — private copy-on-churn twins handed
+  out to monitoring fleets (see :meth:`SnapshotRegistry.checkout`).
 """
 
 from __future__ import annotations
@@ -200,6 +202,50 @@ class SnapshotRegistry:
                 obs=obs,
             )
 
+    def checkout(
+        self,
+        spec: TopologySpec,
+        compiled_plane: bool = False,
+        batch_window: int = 1,
+    ) -> SyntheticInternet:
+        """A private, **unfrozen** copy-on-churn twin of the snapshot.
+
+        Where :meth:`attach` hands out a read-only view of the shared
+        frozen render, ``checkout`` clones it
+        (:meth:`~repro.synth.internet.SyntheticInternet.clone`): the
+        caller gets a mutable twin it may churn freely — the
+        monitoring-fleet path — while the shared render stays frozen
+        for every attached tenant.  The render itself is still paid
+        only once per key; every checkout after the first reuses it.
+        """
+        key = topology_key(spec)
+        with self._lock:
+            snapshot = self._snapshots.get(key)
+            if snapshot is None:
+                start = time.perf_counter()
+                internet = render_internet(spec)
+                seconds = time.perf_counter() - start
+                internet.network.freeze()
+                snapshot = _Snapshot(spec, internet, seconds)
+                self._snapshots[key] = snapshot
+                self.obs.metrics.inc("serve.snapshot.renders")
+                self.obs.metrics.observe(
+                    "serve.snapshot.render_ms", seconds * 1000.0
+                )
+            else:
+                self.obs.metrics.inc("serve.snapshot.attach_hits")
+            start = time.perf_counter()
+            twin = snapshot.internet.clone(
+                compiled_plane=compiled_plane,
+                probe_batch_window=batch_window,
+            )
+            self.obs.metrics.inc("serve.snapshot.checkouts")
+            self.obs.metrics.observe(
+                "serve.snapshot.checkout_ms",
+                (time.perf_counter() - start) * 1000.0,
+            )
+            return twin
+
     # ------------------------------------------------------------------
     # Introspection
 
@@ -218,6 +264,11 @@ class SnapshotRegistry:
         """Alias for :attr:`attach_hits` (reporting vocabulary)."""
         return self.attach_hits
 
+    @property
+    def checkouts(self) -> int:
+        """Copy-on-churn twins handed out (fleet chains)."""
+        return self.obs.metrics.get("serve.snapshot.checkouts")
+
     def mean_render_seconds(self) -> float:
         """Mean observed render cost (0.0 before the first render)."""
         with self._lock:
@@ -235,6 +286,7 @@ class SnapshotRegistry:
             "attaches": self.obs.metrics.get("serve.snapshot.attaches"),
             "attach_hits": self.attach_hits,
             "builds_avoided": self.builds_avoided,
+            "checkouts": self.checkouts,
             "mean_render_ms": round(mean_seconds * 1000.0, 3),
             "saved_ms": round(
                 self.builds_avoided * mean_seconds * 1000.0, 3

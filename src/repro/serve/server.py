@@ -156,7 +156,9 @@ class CampaignServer:
                     f"fault profile {spec.fault_profile!r} fires "
                     "network-mutating flaps and cannot run against a "
                     "shared frozen snapshot; run it standalone "
-                    "(repro chaos) instead"
+                    "(repro chaos), or run a monitoring fleet "
+                    "(repro fleet) — each fleet chain churns a "
+                    "private copy-on-churn twin of the shared render"
                 )
 
     async def submit(self, spec: TenantSpec) -> CampaignSession:

@@ -19,7 +19,11 @@ lost.  This package gives a campaign a durable home:
 * :mod:`repro.store.timeline` — the monitoring product
   (``repro monitor``): folds a chain of epoch snapshots into
   per-pair tunnel lifecycles (born/died/resized/technique-changed)
-  with per-AS churn-rate rollups, schema ``repro.monitor/1``.
+  with per-AS churn-rate rollups, schema ``repro.monitor/1``;
+* :mod:`repro.store.fleet` — the fleet product (``repro fleet``):
+  folds *many* chains into one cross-chain aggregate with per-AS
+  churn baselines, churn-spike alerts and a fleet data-quality
+  grade, schema ``repro.fleet/1``.
 
 Layering: ``repro.store`` sits *above* the campaign layer (it imports
 dataset serializers and is handed live campaign objects), while the
@@ -38,8 +42,10 @@ from repro.store.diff import (
     resolve_snapshot,
     snapshot_tunnels,
 )
+from repro.store.fleet import fold_fleet, render_fleet
 from repro.store.layout import (
     DIFF_SCHEMA,
+    FLEET_SCHEMA,
     IDENTITY_EXCLUDED_FIELDS,
     IDENTITY_OMITTED_WHEN_NONE,
     MONITOR_SCHEMA,
@@ -60,6 +66,7 @@ from repro.store.warehouse import CampaignStore, Snapshot
 __all__ = [
     "STORE_SCHEMA",
     "DIFF_SCHEMA",
+    "FLEET_SCHEMA",
     "MONITOR_SCHEMA",
     "PHASES",
     "IDENTITY_EXCLUDED_FIELDS",
@@ -75,8 +82,10 @@ __all__ = [
     "result_document",
     "chain_snapshots",
     "diff_snapshots",
+    "fold_fleet",
     "fold_timeline",
     "render_diff",
+    "render_fleet",
     "render_timeline",
     "resolve_snapshot",
     "snapshot_tunnels",

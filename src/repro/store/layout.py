@@ -42,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 __all__ = [
     "STORE_SCHEMA",
     "DIFF_SCHEMA",
+    "FLEET_SCHEMA",
     "MONITOR_SCHEMA",
     "PHASES",
     "IDENTITY_EXCLUDED_FIELDS",
@@ -67,6 +68,11 @@ DIFF_SCHEMA = "repro.store.diff/1"
 #: :mod:`repro.store.timeline`); also stamped on the per-epoch
 #: ``monitor.json`` sidecar the monitor loop writes into snapshots.
 MONITOR_SCHEMA = "repro.monitor/1"
+
+#: Fleet aggregate document schema identifier (see
+#: :mod:`repro.store.fleet`); stamped on the cross-chain fold a
+#: :class:`~repro.fleet.FleetSupervisor` writes as ``fleet.json``.
+FLEET_SCHEMA = "repro.fleet/1"
 
 #: Checkpointable phases, in pipeline order, with their record files.
 PHASES = ("trace", "ping", "pairs", "revelation")

@@ -184,8 +184,11 @@ class ChurnModel:
     ) -> None:
         if internet.network.frozen:
             raise FrozenNetworkError(
-                "cannot churn a frozen network (shared rendered "
-                "snapshot); build a private internet for monitoring"
+                f"churn profile {profile.name!r} cannot run against "
+                "a frozen network (shared rendered snapshot); check "
+                "out a private copy-on-churn twin instead — "
+                "SnapshotRegistry.checkout, or a monitoring fleet "
+                "(repro fleet), which does it per chain"
             )
         self.internet = internet
         self.profile = profile

@@ -202,6 +202,119 @@ class SyntheticInternet:
         outcome = self.engine.send_probe(source, dst, ttl=255, flow_id=0)
         return outcome.forward_path
 
+    def clone(
+        self,
+        compiled_plane: Optional[bool] = None,
+        probe_batch_window: Optional[int] = None,
+        trajectory_cache: Optional[bool] = None,
+    ) -> "SyntheticInternet":
+        """A private, **unfrozen** copy-on-churn twin of this internet.
+
+        Where :meth:`attach` shares the network and control plane
+        (read-only, for frozen serve snapshots), ``clone`` deep-copies
+        the network — routers, links, prefix table, MPLS configs — and
+        rebuilds everything derived on top of the copy: a fresh
+        :class:`~repro.routing.control.ControlPlane` (route memos,
+        LDP/TE label state and BGP adjacency are pure functions of the
+        topology, recomputed on demand), the RSVP-TE tunnels
+        reinstalled in their original order, and a private
+        engine/prober pair.  The twin is mutable even when the source
+        is frozen, which is what lets a monitoring fleet churn private
+        twins of a shared rendered snapshot without ever thawing the
+        original (`Network.freeze` invariants hold for served
+        tenants throughout).
+
+        The twin is deterministic: cloning the same source yields
+        byte-identical campaign results, and a clone's campaign equals
+        the source's (pinned by test), so fleet chains and standalone
+        monitor chains land in the same content-keyed snapshots.
+        """
+        from dataclasses import replace
+
+        config = replace(
+            self.config,
+            trajectory_cache=(
+                self.config.trajectory_cache
+                if trajectory_cache is None
+                else trajectory_cache
+            ),
+            compiled_plane=(
+                self.config.compiled_plane
+                if compiled_plane is None
+                else compiled_plane
+            ),
+            probe_batch_window=(
+                self.config.probe_batch_window
+                if probe_batch_window is None
+                else probe_batch_window
+            ),
+        )
+        twin = SyntheticInternet.__new__(SyntheticInternet)
+        twin.config = config
+        network = Network()
+        # Structural copy in creation order (deepcopy would recurse
+        # through the router<->interface<->link cycles): same names,
+        # same addresses (loopbacks and link prefixes passed
+        # explicitly), same directional weights and delays, so the
+        # twin's forwarding behaviour is bit-identical to the source.
+        for router in self.network.routers.values():
+            mirror = network.add_router(
+                router.name,
+                asn=router.asn,
+                vendor=router.vendor,
+                mpls=router.mpls,
+                loopback=router.loopback,
+            )
+            mirror.icmp_enabled = router.icmp_enabled
+            mirror.icmp_response_rate = router.icmp_response_rate
+        for link in self.network.links:
+            side_a, side_b = link.side_a, link.side_b
+            network.add_link(
+                network.routers[side_a.router.name],
+                network.routers[side_b.router.name],
+                weight=link.weight_ab,
+                weight_back=link.weight_ba,
+                delay_ms=link.delay_ms,
+                prefix=link.prefix,
+                if_name_a=side_a.name,
+                if_name_b=side_b.name,
+            )
+        twin.network = network
+        twin.control = ControlPlane(network)
+        twin.profiles = dict(self.profiles)
+        twin.transit_asns = list(self.transit_asns)
+        twin.stub_asns = list(self.stub_asns)
+        twin.vps = [network.routers[vp.name] for vp in self.vps]
+        twin.stub_uplinks = {
+            asn: list(uplinks)
+            for asn, uplinks in self.stub_uplinks.items()
+        }
+        twin.backbone_pes = {
+            asn: set(names)
+            for asn, names in self.backbone_pes.items()
+        }
+        # TeTunnel specs are frozen dataclasses keyed by router names;
+        # reinstalling them against the fresh control plane rebuilds
+        # the twin's TE label state in the original install order.
+        twin.te_tunnels = []
+        for tunnel in self.te_tunnels:
+            twin.control.install_te_tunnel(tunnel)
+            twin.te_tunnels.append(tunnel)
+        twin._rng = random.Random()
+        twin._rng.setstate(self._rng.getstate())
+        twin.engine = ForwardingEngine(
+            network,
+            twin.control,
+            trajectory_cache=config.trajectory_cache,
+            compiled=config.compiled_plane,
+        )
+        twin.prober = Prober(
+            SimBackend(twin.engine),
+            batch_window=config.probe_batch_window,
+        )
+        twin.control.invalidate()
+        return twin
+
     def attach(
         self,
         compiled_plane: bool = False,

@@ -299,6 +299,75 @@ def serve_stats() -> dict:
     }
 
 
+def fleet_stats() -> dict:
+    """Fleet throughput plus crash-recovery overhead.
+
+    Runs a 2-chain monitoring fleet clean, then again with every
+    chain hard-killed mid-epoch and restarted from checkpoints, and
+    reports both legs: ``fleet_throughput`` quantifies concurrent
+    chains over one shared render, ``fleet_recovery`` the cost of a
+    full crash storm.  ``doc_identical`` asserts the fleet recovery
+    contract (the crashed fleet's ``repro.fleet/1`` aggregate is
+    byte-identical to the unfailed one's — also pinned by test).
+    """
+    import shutil
+    import tempfile
+    import time
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.fleet import FleetConfig, FleetSupervisor
+
+    def run(kill_plan=None):
+        root = tempfile.mkdtemp(prefix="bench-fleet-")
+        supervisor = FleetSupervisor(
+            FleetConfig(
+                warehouse=root,
+                chains=2,
+                epochs=2,
+                vantage_points=3,
+                stubs_per_transit=2,
+                churn_profile="steady",
+                backoff_base_ms=0.5,
+            ),
+            kill_plan=kill_plan,
+        )
+        start = time.perf_counter()
+        report = supervisor.run()
+        seconds = time.perf_counter() - start
+        document = (Path(root) / "fleet.json").read_bytes()
+        shutil.rmtree(root, ignore_errors=True)
+        return report, supervisor, seconds, document
+
+    clean, clean_sup, clean_seconds, clean_doc = run()
+    kill_plan = {0: 90, 1: 250}
+    crashed, crash_sup, crashed_seconds, crashed_doc = run(kill_plan)
+    epochs = sum(c.epochs_completed for c in clean.chains)
+    reuse = clean_sup.registry.stats()
+    throughput = {
+        "chains": len(clean.chains),
+        "epochs": epochs,
+        "fleet_seconds": round(clean_seconds, 4),
+        "epochs_per_sec": round(epochs / clean_seconds, 2)
+        if clean_seconds else None,
+        "renders": reuse["renders"],
+        "checkouts": reuse["checkouts"],
+        "builds_avoided": reuse["builds_avoided"],
+        "grade": clean.document["summary"]["grade"],
+    }
+    recovery = {
+        "kills": sum(c.injected_kills for c in crashed.chains),
+        "restarts": sum(c.restarts for c in crashed.chains),
+        "clean_seconds": round(clean_seconds, 4),
+        "crashed_seconds": round(crashed_seconds, 4),
+        "recovery_overhead": round(
+            crashed_seconds / clean_seconds, 2
+        ) if clean_seconds else None,
+        "checkouts": crash_sup.registry.stats()["checkouts"],
+        "doc_identical": crashed_doc == clean_doc,
+    }
+    return {"throughput": throughput, "recovery": recovery}
+
+
 def main() -> int:
     """Run everything and write the JSON snapshot."""
     output = Path(
@@ -311,6 +380,9 @@ def main() -> int:
         "serve_throughput": serve_stats(),
         "monitor_incremental_speedup": monitor_stats(),
     }
+    fleet = fleet_stats()
+    snapshot["fleet_throughput"] = fleet["throughput"]
+    snapshot["fleet_recovery"] = fleet["recovery"]
     benches = snapshot["benches"]
     cached = benches.get("test_perf_full_traceroute")
     uncached = benches.get("test_perf_full_traceroute_uncached")

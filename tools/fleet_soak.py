@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Fleet soak harness: crash storms, parking, hard invariants.
+
+Drives :mod:`repro.fleet` the way CI and release gates need it
+driven:
+
+1. **Crash-identical recovery** — a fleet whose every chain is
+   hard-killed mid-epoch (a staggered *crash storm*) must restart
+   from its checkpoints and produce a ``fleet.json`` aggregate
+   byte-identical to an unfailed fleet's, with the restart
+   bookkeeping confined to the supervision ledger;
+2. **Shared render** — N chains (and all their restart attempts)
+   must trigger exactly one ``internet_build``; every checkout is a
+   copy-on-churn twin of the same frozen render;
+3. **Watchdog convergence** (``--epoch-deadline``) — chains throttled
+   by a probe-tick watchdog must still converge, because every
+   restart resumes from checkpointed progress;
+4. **Park, don't fail** (``--park``) — with a zero restart budget a
+   killed chain must park, the fleet must return a *degraded* (not
+   failed) run, and resuming the same warehouse without faults must
+   complete it byte-identically to a never-crashed fleet.
+
+Results land in ``--json`` as a single summary document.  Exit
+status is non-zero when any invariant fails.
+
+Usage::
+
+    PYTHONPATH=src python tools/fleet_soak.py --chains 3 \
+        --epochs 2 [--epoch-deadline 150] [--park] [--json out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.fleet import FleetConfig, FleetSupervisor  # noqa: E402
+
+
+def parse_args(argv=None):
+    """The soak harness command line."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chains", type=int, default=3)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--vantage-points", type=int, default=3)
+    parser.add_argument("--stubs-per-transit", type=int, default=2)
+    parser.add_argument("--churn-profile", default="steady")
+    parser.add_argument("--fault-profile", default=None)
+    parser.add_argument(
+        "--kill-stride", type=int, default=70, metavar="PROBES",
+        help="chain i of the storm is hard-killed after "
+        "(i + 1) * PROBES cumulative probes",
+    )
+    parser.add_argument(
+        "--epoch-deadline", type=int, default=None, metavar="PROBES",
+        help="also arm the per-chain watchdog (simulated clock): "
+        "epochs exceeding PROBES probes are killed and restarted",
+    )
+    parser.add_argument(
+        "--restart-budget", type=int, default=60,
+        help="restarts allowed per chain during the storm (the "
+        "watchdog flavour needs several per epoch)",
+    )
+    parser.add_argument(
+        "--park", action="store_true",
+        help="also exercise the circuit breaker: a zero-budget fleet "
+        "must park its killed chain, downgrade the grade, and remain "
+        "resumable to a byte-identical complete run",
+    )
+    parser.add_argument(
+        "--workdir", default=None,
+        help="keep warehouses here instead of a temp directory",
+    )
+    parser.add_argument("--json", default=None)
+    return parser.parse_args(argv)
+
+
+def build_config(args, warehouse, **overrides):
+    """One soak fleet configuration over ``warehouse``."""
+    base = dict(
+        warehouse=warehouse,
+        chains=args.chains,
+        epochs=args.epochs,
+        scale=args.scale,
+        seed=args.seed,
+        vantage_points=args.vantage_points,
+        stubs_per_transit=args.stubs_per_transit,
+        churn_profile=args.churn_profile,
+        fault_profile=args.fault_profile,
+        restart_budget=args.restart_budget,
+        backoff_base_ms=0.5,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def fleet_bytes(warehouse):
+    with open(os.path.join(warehouse, "fleet.json"), "rb") as handle:
+        return handle.read()
+
+
+def run_fleet(config, kill_plan=None):
+    supervisor = FleetSupervisor(config, kill_plan=kill_plan)
+    report = supervisor.run()
+    return report, supervisor
+
+
+def soak(args, root, failures):
+    """Run the storm (and optionally the park drill); summary dict."""
+    clean_dir = os.path.join(root, "clean")
+    storm_dir = os.path.join(root, "storm")
+
+    clean_report, _ = run_fleet(build_config(args, clean_dir))
+    if not clean_report.completed:
+        failures.append("clean fleet did not complete every chain")
+    oracle = fleet_bytes(clean_dir)
+
+    kill_plan = {
+        index: (index + 1) * args.kill_stride
+        for index in range(args.chains)
+    }
+    storm_report, storm_supervisor = run_fleet(
+        build_config(
+            args, storm_dir, epoch_deadline=args.epoch_deadline
+        ),
+        kill_plan=kill_plan,
+    )
+    storm = {
+        "chains": args.chains,
+        "kill_plan": {str(k): v for k, v in kill_plan.items()},
+        "injected_kills": sum(
+            c.injected_kills for c in storm_report.chains
+        ),
+        "watchdog_kills": sum(
+            c.watchdog_kills for c in storm_report.chains
+        ),
+        "restarts": sum(c.restarts for c in storm_report.chains),
+        "statuses": [c.status for c in storm_report.chains],
+        "renders": storm_supervisor.registry.renders,
+        "checkouts": storm_supervisor.registry.checkouts,
+        "bit_identical": fleet_bytes(storm_dir) == oracle,
+    }
+    if not storm_report.completed:
+        failures.append(
+            "crash storm left chains unfinished: "
+            f"{storm['statuses']}"
+        )
+    if storm["injected_kills"] != args.chains:
+        failures.append(
+            f"expected {args.chains} injected kills, saw "
+            f"{storm['injected_kills']}"
+        )
+    if not storm["bit_identical"]:
+        failures.append(
+            "storm fleet.json diverges from the unfailed fleet"
+        )
+    if storm["renders"] != 1:
+        failures.append(
+            f"storm rendered {storm['renders']} internets; the "
+            "shared-render contract is exactly 1"
+        )
+    if args.epoch_deadline and storm["watchdog_kills"] == 0:
+        failures.append(
+            "watchdog armed but never fired; lower --epoch-deadline"
+        )
+
+    summary = {
+        "clean_epochs": sum(
+            c.epochs_completed for c in clean_report.chains
+        ),
+        "alerts": len(clean_report.document.get("alerts") or []),
+        "grade": clean_report.document["summary"]["grade"],
+        "storm": storm,
+    }
+
+    if args.park:
+        park_dir = os.path.join(root, "park")
+        park_report, _ = run_fleet(
+            build_config(args, park_dir, restart_budget=0),
+            kill_plan={args.chains - 1: args.kill_stride},
+        )
+        parked = [c for c in park_report.chains if c.status == "parked"]
+        grade = park_report.document["summary"]["grade"]
+        resume_report, _ = run_fleet(build_config(args, park_dir))
+        summary["park"] = {
+            "parked_chains": len(parked),
+            "degraded_grade": grade,
+            "resume_statuses": [
+                c.status for c in resume_report.chains
+            ],
+            "resume_bit_identical": fleet_bytes(park_dir) == oracle,
+        }
+        if len(parked) != 1:
+            failures.append(
+                f"expected exactly 1 parked chain, saw {len(parked)}"
+            )
+        if grade == "high":
+            failures.append(
+                "parked chain did not downgrade the fleet grade"
+            )
+        if not resume_report.completed:
+            failures.append("parked warehouse did not resume cleanly")
+        if not summary["park"]["resume_bit_identical"]:
+            failures.append(
+                "resumed park warehouse diverges from the unfailed "
+                "fleet"
+            )
+    return summary
+
+
+def main(argv=None):
+    """Run the soak; returns the process exit code."""
+    args = parse_args(argv)
+    failures = []
+    root = args.workdir or tempfile.mkdtemp(prefix="fleet-soak-")
+    os.makedirs(root, exist_ok=True)
+    try:
+        summary = soak(args, root, failures)
+    finally:
+        if args.workdir is None:
+            shutil.rmtree(root, ignore_errors=True)
+    summary["failures"] = failures
+    summary["ok"] = not failures
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"SOAK FAILURE: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

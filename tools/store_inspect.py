@@ -7,7 +7,10 @@ record counts and sizes, checkpointed probe/budget progression, run
 status, and the revealed-tunnel summary when ``result.json`` exists.
 It also validates the crash-safety invariants the resume path relies
 on — per-phase ``index`` contiguity and the global ``seq`` chain — and
-flags damaged tails instead of crashing on them.  Self-contained on
+flags damaged tails instead of crashing on them.  A snapshot whose
+process died before writing ``run.json`` is reported as a resumable
+mid-epoch crash, and a warehouse-level ``fleet.json`` (a fleet run's
+``repro.fleet/1`` aggregate) is summarised up front.  Self-contained on
 purpose: it only needs the files, not the ``repro`` package, so it can
 run anywhere the artefact lands (CI, a laptop, a jump host).
 
@@ -194,7 +197,12 @@ def render(summary: dict) -> str:
         note = ""
         if stats["damaged"]:
             dropped = stats["records"] - stats["surviving"]
-            note = f"  [damaged tail: {dropped} record(s) unusable]"
+            detail = (
+                f"{dropped} record(s) unusable"
+                if dropped
+                else "corrupt trailing bytes dropped on resume"
+            )
+            note = f"  [damaged tail: {detail}]"
         lines.append(
             f"  {phase:<12s} {stats['surviving']:>6d} records "
             f"{stats['bytes']:>10d} B{note}"
@@ -248,6 +256,18 @@ def render(summary: dict) -> str:
             if name in run:
                 lines.append(f"  {name:<18s} {run[name]}")
         lines.append("")
+    elif summary["chain_length"]:
+        # Phase records but no run.json: the process died mid-epoch
+        # before writing any status.  Say so instead of silently
+        # omitting the section — the checkpoint prefix is intact and
+        # the run is resumable.
+        lines.append("## Last run: crashed mid-epoch (no run.json)")
+        lines.append(
+            f"  {summary['chain_length']} checkpointed records "
+            "survive; re-running the same campaign/monitor/fleet "
+            "command resumes from them bit-identically"
+        )
+        lines.append("")
 
     result = summary["result"]
     if result:
@@ -263,7 +283,7 @@ def render(summary: dict) -> str:
             if not isinstance(row, dict) or not row.get("revealed_pairs"):
                 continue
             lines.append(
-                f"  AS{row.get('asn'):<6} "
+                f"  AS{row.get('asn') if row.get('asn') is not None else '?':<6} "
                 f"{str(row.get('name') or '?'):<24s} "
                 f"{row.get('revealed_pairs')}/{row.get('ie_pairs')} "
                 f"pairs revealed, {row.get('lsr_ips')} LSR IPs"
@@ -281,7 +301,17 @@ def main(argv: List[str]) -> int:
         print(f"no campaign snapshots under {argv[1]}", file=sys.stderr)
         return 1
     chains, standalone = group_snapshots(snapshots)
+    fleet = load_json(os.path.join(argv[1], "fleet.json"))
     try:
+        if isinstance(fleet, dict) and fleet.get("kind") == "fleet":
+            summary = fleet.get("summary") or {}
+            print(
+                f"# Fleet aggregate: {summary.get('chains', 0)} "
+                f"chains, {summary.get('epochs_completed', 0)} epochs "
+                f"folded, grade {summary.get('grade')}, "
+                f"{summary.get('alerts', 0)} alert(s)"
+            )
+            print()
         for chain, members in chains:
             stamp = monitor_stamp(members[0][1]) or {}
             epochs = ", ".join(

@@ -7,7 +7,10 @@ pairs, probe spend, churn events), every pair's lifecycle
 (born/died/resized/technique-changed), and the per-AS churn-rate
 rollup.  Pointed at a warehouse directory instead, it discovers the
 monitor chains stamped into the snapshot manifests and digests each
-epoch's ``monitor.json`` sidecar — no timeline export needed.
+epoch's ``monitor.json`` sidecar — no timeline export needed.  A
+fleet warehouse's ``fleet.json`` aggregate is summarised up front;
+epochs that crashed or were parked mid-run are flagged as in-flight
+(resumable) rather than rendered as zero-tunnel rows.
 Self-contained on purpose: it only needs the files, not the ``repro``
 package, so it can run anywhere the artefact lands (CI, a laptop, a
 jump host).
@@ -58,8 +61,9 @@ def render_timeline(document: dict) -> str:
         carried = int(head.get("pairs_carried") or 0)
         total_probes += probes
         total_carried += carried
+        epoch = head.get("epoch")
         lines.append(
-            f"  {head.get('epoch'):>5}"
+            f"  {epoch if epoch is not None else '?':>5}"
             f"  {head.get('tunnels') or 0:>7}"
             f"  {head.get('pairs') or 0:>5}"
             f"  {carried:>7}"
@@ -162,31 +166,94 @@ def find_chains(
     ]
 
 
+def epoch_completed(path: str) -> bool:
+    """Did the epoch at ``path`` run to completion?
+
+    Same criterion the monitor loop and fleet fold use: a completed
+    ``run.json`` *and* a written ``result.json``.  A crash between
+    the two (or mid-epoch) leaves a resumable, not-yet-complete
+    epoch whose checkpoint records must not be read as results.
+    """
+    run = load_json(os.path.join(path, "run.json")) or {}
+    result = load_json(os.path.join(path, "result.json"))
+    return bool(run.get("completed")) and result is not None
+
+
+def render_fleet_summary(root: str) -> Optional[str]:
+    """One-paragraph digest of the warehouse's ``fleet.json``."""
+    document = load_json(os.path.join(root, "fleet.json"))
+    if document is None or document.get("kind") != "fleet":
+        return None
+    summary = document.get("summary") or {}
+    quality = document.get("data_quality") or {}
+    lines = [
+        f"# Fleet aggregate ({document.get('schema')})",
+        "",
+        f"  chains           {summary.get('chains', 0)} "
+        f"({summary.get('complete_chains', 0)} complete)",
+        f"  epochs folded    {summary.get('epochs_completed', 0)}",
+        f"  alerts           {summary.get('alerts', 0)}",
+        f"  grade            {summary.get('grade')} "
+        f"(confidence {quality.get('confidence')})",
+    ]
+    incomplete = quality.get("incomplete") or []
+    if incomplete:
+        lines.append(
+            "  incomplete       " + ", ".join(
+                str(chain) for chain in incomplete
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
 def render_warehouse(root: str) -> Optional[str]:
     """Digest every monitor chain found under a warehouse root.
 
     Epoch rows come from each snapshot's ``monitor.json`` sidecar plus
     its ``run.json``/``result.json``; None when the directory holds no
-    monitor chains at all.
+    monitor chains at all.  Epochs that never completed (a chain
+    crashed or was parked mid-epoch) are flagged as in-flight rather
+    than rendered as zero-tunnel rows, and a chain with *no*
+    completed epoch gets an explicit resume hint instead of an empty
+    table pretending the chain measured nothing.
     """
     chains = find_chains(root)
     if not chains:
         return None
     lines = []
+    fleet = render_fleet_summary(root)
+    if fleet is not None:
+        lines.append(fleet)
     for chain, members in chains:
-        first_sidecar = (
-            load_json(os.path.join(members[0][1], "monitor.json"))
-            or {}
-        )
+        # The manifest stamp always carries the profile; the sidecar
+        # only exists for epochs that completed.
+        manifest = load_json(
+            os.path.join(members[0][1], "MANIFEST.json")
+        ) or {}
+        stamp = (
+            (manifest.get("fingerprint") or {})
+            .get("topology", {})
+            .get("monitor", {})
+        ) or {}
         lines.append(
             f"# Monitor chain {chain} ({len(members)} epochs, "
-            f"churn profile {first_sidecar.get('churn_profile')!r})"
+            f"churn profile {stamp.get('churn_profile')!r})"
         )
         lines.append("")
         lines.append(
             "  epoch  tunnels  carried  stale  probes  churn  snapshot"
         )
+        completed_epochs = 0
         for epoch, path in members:
+            if not epoch_completed(path):
+                lines.append(
+                    f"  {epoch:>5}  [in-flight: crashed or parked "
+                    "mid-epoch; checkpoint is resumable]  "
+                    f"{os.path.basename(path)}"
+                )
+                continue
+            completed_epochs += 1
             sidecar = load_json(
                 os.path.join(path, "monitor.json")
             ) or {}
@@ -208,6 +275,13 @@ def render_warehouse(root: str) -> Optional[str]:
                 f"  {len(sidecar.get('churn_events') or []):>5}"
                 f"  {os.path.basename(path)}"
                 + ("  [partial]" if run.get("partial") else "")
+            )
+        if completed_epochs == 0:
+            lines.append(
+                "  (no completed epochs yet — the chain crashed or "
+                "was parked before finishing its first epoch; "
+                "re-run the same monitor command, or resume the "
+                "fleet, to continue from the checkpoints)"
             )
         lines.append("")
     return "\n".join(lines)
